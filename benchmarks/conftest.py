@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artifacts (Figure 3,
+Figure 4, Table I) or one of the DESIGN.md ablations, at a reduced sample
+budget by default.  Set the environment variable ``REPRO_FULL_BENCH=1`` to run
+with budgets closer to the paper's (much slower).
+
+The benchmark functions print the regenerated rows/series so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the tables alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuits.config import LIFGWConfig, LIFTrevisanConfig
+
+#: Toggle for paper-scale budgets.
+FULL = os.environ.get("REPRO_FULL_BENCH", "0") == "1"
+
+
+def sample_budget(reduced: int, full: int) -> int:
+    """Pick the reduced or full sample budget depending on REPRO_FULL_BENCH."""
+    return full if FULL else reduced
+
+
+@pytest.fixture(scope="session")
+def fast_gw_config() -> LIFGWConfig:
+    """LIF-GW configuration tuned for benchmark throughput."""
+    return LIFGWConfig(burn_in_steps=50, sample_interval=5, sdp_max_iterations=800)
+
+
+@pytest.fixture(scope="session")
+def fast_tr_config() -> LIFTrevisanConfig:
+    """LIF-TR configuration tuned for benchmark throughput."""
+    return LIFTrevisanConfig(burn_in_steps=50, sample_interval=5)

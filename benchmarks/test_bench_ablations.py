@@ -1,0 +1,94 @@
+"""Benchmarks E4 & E6 — ablations: device imperfections and SDP rank.
+
+E4 (device imperfection): the paper's Discussion argues the central-limit
+structure of the circuits should make them robust to imperfect devices; this
+benchmark quantifies cut quality for biased, correlated, temporally correlated
+and drifting device pools relative to the fair-coin baseline.
+
+E6 (SDP rank): the paper fixes the LIF-GW factorisation rank at 4; this sweep
+shows how cut quality varies with rank.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sample_budget
+from repro.experiments.ablations import (
+    DEVICE_MODELS,
+    run_device_imperfection_ablation,
+    run_learning_rate_ablation,
+    run_rank_ablation,
+)
+from repro.experiments.config import AblationConfig
+from repro.experiments.reporting import format_table
+
+
+def _config() -> AblationConfig:
+    return AblationConfig(
+        n_vertices=50,
+        edge_probability=0.25,
+        n_graphs=3,
+        n_samples=sample_budget(256, 2048),
+        seed=0,
+    )
+
+
+def _print_points(title: str, points) -> None:
+    rows = [[p.setting, p.mean_relative_cut, p.sem] for p in points]
+    print("\n" + title + "\n" + format_table(["setting", "relative cut", "sem"], rows))
+
+
+def test_bench_device_imperfection_lif_gw(benchmark):
+    """E4: LIF-GW cut quality under imperfect device models."""
+    models = {k: DEVICE_MODELS[k] for k in ("fair", "biased_0.6", "correlated_0.2", "telegraph_slow")}
+    points = benchmark.pedantic(
+        run_device_imperfection_ablation,
+        kwargs={"config": _config(), "circuit": "lif_gw", "device_models": models},
+        iterations=1, rounds=1,
+    )
+    _print_points("Device-imperfection ablation (LIF-GW)", points)
+    by_name = {p.setting: p.mean_relative_cut for p in points}
+    # Robustness claim: mild imperfections cost at most ~15% relative cut quality.
+    assert by_name["biased_0.6"] >= 0.85 * by_name["fair"]
+    assert by_name["correlated_0.2"] >= 0.80 * by_name["fair"]
+
+
+def test_bench_device_imperfection_lif_tr(benchmark):
+    """E4: LIF-TR cut quality under imperfect device models."""
+    models = {k: DEVICE_MODELS[k] for k in ("fair", "biased_0.6", "drifting")}
+    points = benchmark.pedantic(
+        run_device_imperfection_ablation,
+        kwargs={"config": _config(), "circuit": "lif_tr", "device_models": models},
+        iterations=1, rounds=1,
+    )
+    _print_points("Device-imperfection ablation (LIF-TR)", points)
+    for p in points:
+        assert p.mean_relative_cut > 0.5
+
+
+def test_bench_rank_ablation(benchmark):
+    """E6: LIF-GW quality as a function of the SDP factorisation rank."""
+    points = benchmark.pedantic(
+        run_rank_ablation,
+        kwargs={"config": _config(), "ranks": (2, 3, 4, 8)},
+        iterations=1, rounds=1,
+    )
+    _print_points("SDP rank ablation (LIF-GW)", points)
+    by_rank = {p.metadata["rank"]: p.mean_relative_cut for p in points}
+    # Rank 4 (the paper's choice) should be within a few percent of rank 8.
+    assert by_rank[4] >= by_rank[8] - 0.05
+    # Rank 2 is a genuine degradation on dense graphs, or at best equal.
+    assert by_rank[2] <= by_rank[8] + 0.05
+
+
+def test_bench_learning_rate_ablation(benchmark):
+    """Extra ablation: sensitivity of LIF-TR to its anti-Hebbian learning rate."""
+    points = benchmark.pedantic(
+        run_learning_rate_ablation,
+        kwargs={"config": _config(), "learning_rates": (0.005, 0.02, 0.1)},
+        iterations=1, rounds=1,
+    )
+    _print_points("Learning-rate ablation (LIF-TR)", points)
+    for p in points:
+        assert p.mean_relative_cut > 0.5

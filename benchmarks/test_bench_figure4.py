@@ -1,0 +1,43 @@
+"""Benchmark E2 — regenerate Figure 4 (empirical-graph convergence curves).
+
+Each panel is one Network-Repository graph (exact construction or documented
+surrogate).  The reduced benchmark covers the small/medium graphs; the full
+run (REPRO_FULL_BENCH=1) covers all 16 Table I graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL, sample_budget
+from repro.experiments.config import Figure4Config
+from repro.experiments.figure4 import run_figure4_panel
+from repro.experiments.reporting import format_figure4_report
+from repro.graphs.repository import list_empirical_graphs
+
+REDUCED_GRAPHS = ["hamming6-2", "soc-dolphins", "road-chesapeake", "eco-stmarks", "ENZYMES8"]
+GRAPHS = list_empirical_graphs() if FULL else REDUCED_GRAPHS
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_bench_figure4_panel(benchmark, graph_name, fast_gw_config, fast_tr_config):
+    """Time one Figure 4 panel and print its convergence table."""
+    config = Figure4Config(
+        n_samples=sample_budget(256, 4096),
+        n_solver_samples=sample_budget(64, 256),
+        seed=0,
+        lif_gw=fast_gw_config,
+        lif_tr=fast_tr_config,
+    )
+
+    panel = benchmark.pedantic(
+        run_figure4_panel, args=(graph_name,), kwargs={"config": config},
+        iterations=1, rounds=1,
+    )
+
+    print("\n" + format_figure4_report([panel]))
+
+    # Shape assertions: LIF-GW tracks the solver; random does not exceed it by much.
+    assert panel.curves["lif_gw"][-1] >= 0.85
+    assert panel.curves["random"][-1] <= 1.05
+    assert panel.best_weights["solver"] > 0

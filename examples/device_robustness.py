@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Device-imperfection robustness study (the ablation the paper's Discussion calls for).
+
+The paper models stochastic devices as perfect fair coins and argues the
+central-limit structure of the circuits should make them robust to real-device
+imperfections.  This example quantifies that: it sweeps biased, correlated,
+temporally correlated (random-telegraph) and drifting device pools and reports
+the cut quality of both circuits relative to the software solver.
+
+Usage:
+    python examples/device_robustness.py --vertices 60 --samples 512
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.ablations import (
+    DEVICE_MODELS,
+    run_device_imperfection_ablation,
+    run_rank_ablation,
+)
+from repro.experiments.config import AblationConfig
+from repro.experiments.reporting import format_table
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=60)
+    parser.add_argument("--probability", type=float, default=0.25)
+    parser.add_argument("--graphs", type=int, default=3)
+    parser.add_argument("--samples", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-rank", action="store_true", help="skip the SDP rank ablation"
+    )
+    args = parser.parse_args()
+
+    configure_logging()
+
+    config = AblationConfig(
+        n_vertices=args.vertices,
+        edge_probability=args.probability,
+        n_graphs=args.graphs,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+
+    for circuit in ("lif_gw", "lif_tr"):
+        points = run_device_imperfection_ablation(config=config, circuit=circuit)
+        rows = [[p.setting, p.mean_relative_cut, p.sem] for p in points]
+        print(f"\nDevice-imperfection ablation — {circuit.upper()} "
+              f"(cut weight relative to software solver)")
+        print(format_table(["device model", "relative cut", "sem"], rows))
+
+    if not args.skip_rank:
+        points = run_rank_ablation(config=config, ranks=(2, 3, 4, 8, 16))
+        rows = [[p.setting, p.mean_relative_cut, p.sem] for p in points]
+        print("\nSDP rank ablation — LIF-GW (the paper fixes rank 4)")
+        print(format_table(["rank", "relative cut", "sem"], rows))
+
+    print(
+        "\nInterpretation: the 'fair' row is the paper's idealised device model;"
+        "\nthe other rows quantify how much cut quality survives each imperfection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""repro — reproduction of "Stochastic Neuromorphic Circuits for Solving MAXCUT".
+
+The library implements, in pure NumPy/SciPy:
+
+* the two neuromorphic circuits of the paper (:class:`repro.LIFGWCircuit` and
+  :class:`repro.LIFTrevisanCircuit`),
+* every substrate they rely on — stochastic device pools, LIF neuron
+  populations, Oja/anti-Hebbian plasticity, a Burer-Monteiro SDP solver,
+  spectral solvers, graph generators and the empirical-graph registry,
+* the software baselines (Goemans-Williamson, Trevisan simple spectral,
+  random cuts), and
+* the experiment harness regenerating the paper's Figure 3, Figure 4 and
+  Table I, plus the ablations its Discussion calls for.
+
+Quickstart
+----------
+>>> import repro
+>>> graph = repro.erdos_renyi(40, 0.3, seed=1)
+>>> circuit = repro.LIFGWCircuit(graph, seed=1)
+>>> result = circuit.sample_cuts(n_samples=200, seed=2)
+>>> result.best_weight > 0
+True
+"""
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    complete_graph,
+    complete_bipartite,
+    cycle_graph,
+    load_empirical_graph,
+    list_empirical_graphs,
+)
+from repro.cuts import (
+    Cut,
+    cut_weight,
+    cut_weights_batch,
+    random_cut,
+    best_random_cut,
+    exact_maxcut,
+    exact_maxcut_value,
+)
+from repro.sdp import solve_maxcut_sdp, hyperplane_rounding, SDPResult
+from repro.spectral import trevisan_simple_spectral, minimum_eigenvector
+from repro.devices import (
+    FairCoinPool,
+    BiasedCoinPool,
+    CorrelatedDevicePool,
+    DriftingDevicePool,
+    TelegraphNoisePool,
+)
+from repro.neurons import (
+    LIFParameters,
+    LIFPopulation,
+    AntiHebbianMinorComponent,
+    OjaPrincipalComponent,
+)
+from repro.circuits import (
+    LIFGWCircuit,
+    LIFTrevisanCircuit,
+    LIFGWConfig,
+    LIFTrevisanConfig,
+    CircuitResult,
+)
+from repro.algorithms import (
+    goemans_williamson,
+    trevisan_spectral,
+    random_baseline,
+    get_solver,
+    list_solvers,
+)
+from repro.ising import (
+    IsingModel,
+    maxcut_to_ising,
+    simulated_annealing_maxcut,
+    parallel_tempering,
+)
+from repro.plotting import ascii_line_plot, render_curves
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Graph",
+    "erdos_renyi",
+    "complete_graph",
+    "complete_bipartite",
+    "cycle_graph",
+    "load_empirical_graph",
+    "list_empirical_graphs",
+    # cuts
+    "Cut",
+    "cut_weight",
+    "cut_weights_batch",
+    "random_cut",
+    "best_random_cut",
+    "exact_maxcut",
+    "exact_maxcut_value",
+    # sdp / spectral
+    "solve_maxcut_sdp",
+    "hyperplane_rounding",
+    "SDPResult",
+    "trevisan_simple_spectral",
+    "minimum_eigenvector",
+    # devices
+    "FairCoinPool",
+    "BiasedCoinPool",
+    "CorrelatedDevicePool",
+    "DriftingDevicePool",
+    "TelegraphNoisePool",
+    # neurons
+    "LIFParameters",
+    "LIFPopulation",
+    "AntiHebbianMinorComponent",
+    "OjaPrincipalComponent",
+    # circuits
+    "LIFGWCircuit",
+    "LIFTrevisanCircuit",
+    "LIFGWConfig",
+    "LIFTrevisanConfig",
+    "CircuitResult",
+    # algorithms
+    "goemans_williamson",
+    "trevisan_spectral",
+    "random_baseline",
+    "get_solver",
+    "list_solvers",
+    # ising baselines
+    "IsingModel",
+    "maxcut_to_ising",
+    "simulated_annealing_maxcut",
+    "parallel_tempering",
+    # plotting
+    "ascii_line_plot",
+    "render_curves",
+]

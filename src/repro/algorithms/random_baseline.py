@@ -1,0 +1,36 @@
+"""Uniformly random cut baseline, packaged like the other solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuts.cut import Cut
+from repro.cuts.random_cut import random_cuts_batch
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomState
+from repro.utils.validation import ValidationError
+
+__all__ = ["random_baseline"]
+
+
+def random_baseline(
+    graph: Graph, n_samples: int = 100, seed: RandomState = None
+) -> tuple[Cut, np.ndarray]:
+    """Best of *n_samples* uniformly random cuts, plus the per-sample weights.
+
+    Returns
+    -------
+    (best_cut, sample_weights):
+        The best cut and the full weight trajectory (for running-max curves
+        comparable to the circuits' trajectories).
+    """
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    assignments, weights = random_cuts_batch(graph, n_samples, seed=seed)
+    best = int(np.argmax(weights))
+    best_cut = Cut(
+        assignment=assignments[best].astype(np.int8),
+        weight=float(weights[best]),
+        graph_name=graph.name,
+    )
+    return best_cut, weights

@@ -1,0 +1,95 @@
+"""Solver registry: uniform ``solve(graph, n_samples, seed) -> Cut`` interface.
+
+Experiments refer to methods by short string keys ("lif_gw", "lif_tr",
+"solver", "random"); the registry maps those keys to callables so sweeps can
+be parameterised by name without import-time coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.algorithms.goemans_williamson import goemans_williamson
+from repro.algorithms.random_baseline import random_baseline
+from repro.algorithms.trevisan import trevisan_spectral
+from repro.circuits.lif_gw import LIFGWCircuit
+from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+from repro.cuts.cut import Cut
+from repro.cuts.local_search import local_search_maxcut
+from repro.graphs.graph import Graph
+from repro.ising.annealing import simulated_annealing_maxcut
+from repro.ising.tempering import parallel_tempering
+from repro.utils.rng import RandomState
+from repro.utils.validation import ValidationError
+
+__all__ = ["SOLVERS", "get_solver", "list_solvers"]
+
+SolverFn = Callable[..., Cut]
+
+
+def _solve_lif_gw(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    return LIFGWCircuit(graph, seed=seed, **kwargs).solve(n_samples, seed=seed)
+
+
+def _solve_lif_tr(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    return LIFTrevisanCircuit(graph, **kwargs).solve(n_samples, seed=seed)
+
+
+def _solve_gw(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    return goemans_williamson(graph, n_samples=n_samples, seed=seed, **kwargs).best_cut
+
+
+def _solve_trevisan(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    # Deterministic spectral method: n_samples is accepted for interface
+    # uniformity but ignored.
+    return trevisan_spectral(graph, seed=seed, **kwargs)
+
+
+def _solve_random(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    best, _ = random_baseline(graph, n_samples=n_samples, seed=seed, **kwargs)
+    return best
+
+
+def _solve_annealing(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    # n_samples maps naturally onto the number of Metropolis sweeps.
+    from repro.ising.annealing import AnnealingSchedule
+
+    schedule = AnnealingSchedule(n_sweeps=max(1, n_samples))
+    return simulated_annealing_maxcut(graph, schedule=schedule, seed=seed, **kwargs)
+
+
+def _solve_tempering(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    return parallel_tempering(graph, n_sweeps=max(1, n_samples), seed=seed, **kwargs).best_cut
+
+
+def _solve_local_search(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
+    # n_samples maps onto the number of random restarts.
+    return local_search_maxcut(graph, n_restarts=max(1, n_samples // 10 or 1), seed=seed, **kwargs)
+
+
+#: Mapping of method keys to solver callables.
+SOLVERS: Dict[str, SolverFn] = {
+    "lif_gw": _solve_lif_gw,
+    "lif_tr": _solve_lif_tr,
+    "solver": _solve_gw,
+    "trevisan": _solve_trevisan,
+    "random": _solve_random,
+    "annealing": _solve_annealing,
+    "tempering": _solve_tempering,
+    "local_search": _solve_local_search,
+}
+
+
+def list_solvers() -> list[str]:
+    """Names of all registered solvers."""
+    return sorted(SOLVERS.keys())
+
+
+def get_solver(name: str) -> SolverFn:
+    """Look up a solver by key; raises ``ValidationError`` for unknown names."""
+    try:
+        return SOLVERS[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown solver {name!r}; available: {list_solvers()}"
+        ) from exc

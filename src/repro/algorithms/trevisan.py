@@ -1,0 +1,34 @@
+"""Software Trevisan simple-spectral baseline (thin façade over repro.spectral)."""
+
+from __future__ import annotations
+
+from repro.cuts.cut import Cut
+from repro.graphs.graph import Graph
+from repro.spectral.trevisan import trevisan_simple_spectral, trevisan_sweep_cut
+from repro.utils.rng import RandomState
+
+__all__ = ["trevisan_spectral"]
+
+
+def trevisan_spectral(
+    graph: Graph,
+    sweep: bool = False,
+    method: str = "auto",
+    seed: RandomState = None,
+) -> Cut:
+    """Run the software Trevisan simple-spectral algorithm and return its cut.
+
+    Parameters
+    ----------
+    graph:
+        Graph to cut.
+    sweep:
+        If True, use the sweep-cut refinement (try every threshold along the
+        sorted eigenvector) instead of the plain sign threshold.
+    method:
+        Eigen-solver backend passed through to
+        :func:`repro.spectral.minimum_eigenvector`.
+    """
+    if sweep:
+        return trevisan_sweep_cut(graph, method=method, seed=seed).cut
+    return trevisan_simple_spectral(graph, method=method, seed=seed).cut

@@ -1,0 +1,40 @@
+"""Analysis utilities: statistics, convergence curves, approximation ratios, scaling model."""
+
+from repro.analysis.statistics import (
+    mean_and_sem,
+    bootstrap_confidence_interval,
+    summarize_samples,
+    SummaryStatistics,
+)
+from repro.analysis.convergence import (
+    running_best,
+    relative_to_reference,
+    sample_points_log_spaced,
+    convergence_curve,
+    ConvergenceCurve,
+)
+from repro.analysis.ratios import approximation_ratio, relative_cut_weight
+from repro.analysis.scaling import (
+    HardwareModel,
+    samples_in_time,
+    software_equivalent_samples,
+    throughput_report,
+)
+
+__all__ = [
+    "mean_and_sem",
+    "bootstrap_confidence_interval",
+    "summarize_samples",
+    "SummaryStatistics",
+    "running_best",
+    "relative_to_reference",
+    "sample_points_log_spaced",
+    "convergence_curve",
+    "ConvergenceCurve",
+    "approximation_ratio",
+    "relative_cut_weight",
+    "HardwareModel",
+    "samples_in_time",
+    "software_equivalent_samples",
+    "throughput_report",
+]

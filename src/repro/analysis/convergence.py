@@ -1,0 +1,114 @@
+"""Convergence-curve utilities for the sample-count figures (Figs. 3-4).
+
+The figures plot, for each method, the best cut found so far (relative to the
+software solver's best cut) as a function of the number of samples drawn,
+evaluated at logarithmically spaced sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "running_best",
+    "relative_to_reference",
+    "sample_points_log_spaced",
+    "convergence_curve",
+    "ConvergenceCurve",
+]
+
+
+def running_best(weights: np.ndarray) -> np.ndarray:
+    """Running maximum of a 1-D weight trajectory."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValidationError(f"weights must be 1-D, got shape {weights.shape}")
+    if weights.size == 0:
+        return np.zeros(0)
+    return np.maximum.accumulate(weights)
+
+
+def relative_to_reference(values: np.ndarray, reference: float) -> np.ndarray:
+    """Divide *values* by a positive *reference* (the solver's best cut)."""
+    if not np.isfinite(reference) or reference <= 0:
+        raise ValidationError(f"reference must be a positive finite number, got {reference}")
+    return np.asarray(values, dtype=np.float64) / reference
+
+
+def sample_points_log_spaced(n_samples: int, n_points: int = 20) -> np.ndarray:
+    """Logarithmically spaced, strictly increasing sample counts in ``[1, n_samples]``."""
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    if n_points < 1:
+        raise ValidationError(f"n_points must be >= 1, got {n_points}")
+    points = np.unique(
+        np.round(np.logspace(0, np.log10(n_samples), num=min(n_points, n_samples))).astype(np.int64)
+    )
+    points = points[(points >= 1) & (points <= n_samples)]
+    if points.size == 0 or points[-1] != n_samples:
+        points = np.unique(np.append(points, n_samples))
+    return points
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Best-so-far cut weight (optionally normalised) at given sample counts."""
+
+    sample_counts: np.ndarray
+    values: np.ndarray
+    label: str = ""
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.sample_counts, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if counts.shape != values.shape or counts.ndim != 1:
+            raise ValidationError("sample_counts and values must be 1-D arrays of equal length")
+        object.__setattr__(self, "sample_counts", counts)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def final_value(self) -> float:
+        """Value at the largest sample count (0 for empty curves)."""
+        return float(self.values[-1]) if self.values.size else 0.0
+
+
+def convergence_curve(
+    weights: np.ndarray,
+    sample_counts: np.ndarray | None = None,
+    reference: float | None = None,
+    label: str = "",
+) -> ConvergenceCurve:
+    """Build a :class:`ConvergenceCurve` from a per-sample weight trajectory.
+
+    Parameters
+    ----------
+    weights:
+        Per-sample cut weights in sampling order.
+    sample_counts:
+        1-based sample counts at which to evaluate the running best; defaults
+        to ~20 log-spaced points.
+    reference:
+        If given, values are divided by this reference (e.g. the solver's best
+        cut) to produce the paper's "cut weight relative to solver" axis.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValidationError("weights must be a non-empty 1-D array")
+    best = running_best(weights)
+    if sample_counts is None:
+        sample_counts = sample_points_log_spaced(weights.size)
+    sample_counts = np.asarray(sample_counts, dtype=np.int64)
+    if np.any(sample_counts < 1) or np.any(sample_counts > weights.size):
+        raise ValidationError(
+            f"sample_counts must lie in [1, {weights.size}]"
+        )
+    values = best[sample_counts - 1]
+    if reference is not None:
+        values = relative_to_reference(values, reference)
+    return ConvergenceCurve(sample_counts=sample_counts, values=values, label=label)

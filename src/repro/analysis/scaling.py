@@ -1,0 +1,107 @@
+"""Hardware-throughput projection (paper Discussion §VI).
+
+The paper argues that although the LIF-Trevisan circuit needs many more
+samples than the software spectral algorithm, hardware LIF neurons with ~1 ns
+time constants would generate *millions* of samples in the ~10 ms a software
+simple-spectral computation takes, and *billions* in the time needed to solve
+and sample the Goemans-Williamson SDP.  This module encodes that projection
+as an explicit, testable model so the claim can be regenerated as a table
+(benchmark E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "HardwareModel",
+    "samples_in_time",
+    "software_equivalent_samples",
+    "throughput_report",
+]
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """Timing model of a hardware implementation of the circuits.
+
+    Attributes
+    ----------
+    lif_time_constant_s:
+        Hardware LIF time constant (the paper cites ~1 ns devices).
+    steps_per_sample:
+        LIF time steps between consecutive cut read-outs (the simulator's
+        ``sample_interval``).
+    """
+
+    lif_time_constant_s: float = 1e-9
+    steps_per_sample: int = 10
+
+    def __post_init__(self) -> None:
+        check_positive(self.lif_time_constant_s, "lif_time_constant_s")
+        if self.steps_per_sample < 1:
+            raise ValidationError(
+                f"steps_per_sample must be >= 1, got {self.steps_per_sample}"
+            )
+
+    @property
+    def seconds_per_sample(self) -> float:
+        """Wall-clock seconds per hardware cut sample."""
+        return self.lif_time_constant_s * self.steps_per_sample
+
+    @property
+    def samples_per_second(self) -> float:
+        """Hardware sampling throughput."""
+        return 1.0 / self.seconds_per_sample
+
+
+def samples_in_time(model: HardwareModel, seconds: float) -> int:
+    """Number of hardware samples generated in *seconds* of wall-clock time."""
+    if seconds < 0:
+        raise ValidationError(f"seconds must be non-negative, got {seconds}")
+    return int(model.samples_per_second * seconds)
+
+
+def software_equivalent_samples(
+    model: HardwareModel,
+    software_seconds: float,
+) -> int:
+    """Hardware samples obtainable in the runtime of a software computation.
+
+    With the paper's reference numbers (1 ns steps, ~10 ms simple-spectral
+    solve) this is on the order of millions of samples, matching the
+    Discussion's claim.
+    """
+    return samples_in_time(model, software_seconds)
+
+
+def throughput_report(
+    model: HardwareModel,
+    software_spectral_seconds: float = 1e-2,
+    software_sdp_seconds: float = 10.0,
+) -> dict:
+    """Tabulate the paper's hardware-vs-software throughput comparison.
+
+    Parameters
+    ----------
+    software_spectral_seconds:
+        Runtime of a software simple-spectral computation (paper: ~10 ms).
+    software_sdp_seconds:
+        Runtime of solving + sampling the GW SDP (paper: orders of magnitude
+        longer; default 10 s).
+    """
+    check_positive(software_spectral_seconds, "software_spectral_seconds")
+    check_positive(software_sdp_seconds, "software_sdp_seconds")
+    return {
+        "hardware_samples_per_second": model.samples_per_second,
+        "samples_during_spectral_solve": software_equivalent_samples(
+            model, software_spectral_seconds
+        ),
+        "samples_during_sdp_solve": software_equivalent_samples(
+            model, software_sdp_seconds
+        ),
+        "lif_time_constant_s": model.lif_time_constant_s,
+        "steps_per_sample": model.steps_per_sample,
+    }

@@ -1,0 +1,91 @@
+"""Summary statistics used in the experiment reports.
+
+The paper's Figure 3 error bars are the standard error of the mean over 10
+independently generated graphs per (n, p) class; these helpers compute that,
+plus bootstrap confidence intervals for the cases where a normal
+approximation is dubious (small sample counts, skewed distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "mean_and_sem",
+    "bootstrap_confidence_interval",
+    "SummaryStatistics",
+    "summarize_samples",
+]
+
+
+def mean_and_sem(samples: np.ndarray) -> tuple[float, float]:
+    """Mean and standard error of the mean of a 1-D sample array.
+
+    The SEM of a single sample is reported as 0.0 (not NaN) so downstream
+    tables remain printable.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValidationError("samples must be a non-empty 1-D array")
+    mean = float(samples.mean())
+    if samples.size == 1:
+        return mean, 0.0
+    sem = float(samples.std(ddof=1) / np.sqrt(samples.size))
+    return mean, sem
+
+
+def bootstrap_confidence_interval(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: RandomState = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValidationError("samples must be a non-empty 1-D array")
+    if not (0.0 < confidence < 1.0):
+        raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValidationError(f"n_resamples must be >= 1, got {n_resamples}")
+    rng = as_generator(seed)
+    indices = rng.integers(0, samples.size, size=(n_resamples, samples.size))
+    resampled_means = samples[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-style summary of a sample of cut weights or ratios."""
+
+    n: int
+    mean: float
+    sem: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+
+def summarize_samples(samples: np.ndarray) -> SummaryStatistics:
+    """Compute a :class:`SummaryStatistics` for a non-empty 1-D sample array."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValidationError("samples must be a non-empty 1-D array")
+    mean, sem = mean_and_sem(samples)
+    return SummaryStatistics(
+        n=int(samples.size),
+        mean=mean,
+        sem=sem,
+        std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+        minimum=float(samples.min()),
+        maximum=float(samples.max()),
+        median=float(np.median(samples)),
+    )

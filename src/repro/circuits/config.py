@@ -1,0 +1,117 @@
+"""Configuration dataclasses for the neuromorphic circuits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.neurons.lif import LIFParameters
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["LIFGWConfig", "LIFTrevisanConfig"]
+
+
+@dataclass(frozen=True)
+class LIFGWConfig:
+    """Configuration of the LIF-Goemans-Williamson circuit.
+
+    Attributes
+    ----------
+    rank:
+        Rank of the SDP factorisation — equals the number of random devices in
+        the pool (the paper fixes 4).
+    weight_scale:
+        Overall scale of the device-to-neuron weights.  The paper notes only
+        the *ratios* of the weights matter; this knob exists to emulate
+        hardware ranges and is covered by an invariance test.
+    sample_interval:
+        Number of LIF time steps between consecutive cut read-outs.  Larger
+        intervals decorrelate successive samples (the membrane time constant
+        sets the correlation time).
+    burn_in_steps:
+        Steps simulated before the first read-out so the membrane reaches its
+        stationary distribution.
+    readout:
+        ``"membrane"`` (sign of the membrane potential — the Bertsimas-Ye
+        Gaussian rounding the analysis is based on) or ``"spike"`` (spiking
+        vs. silent neurons at the read-out step, the hardware-native readout
+        described in the paper).
+    lif:
+        Electrical parameters of the LIF population.
+    sdp_max_iterations, sdp_tolerance:
+        Passed to the offline Burer-Monteiro SDP solve.
+    """
+
+    rank: int = 4
+    weight_scale: float = 1.0
+    sample_interval: int = 10
+    burn_in_steps: int = 100
+    readout: str = "membrane"
+    lif: LIFParameters = field(default_factory=LIFParameters)
+    sdp_max_iterations: int = 2000
+    sdp_tolerance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValidationError(f"rank must be >= 1, got {self.rank}")
+        check_positive(self.weight_scale, "weight_scale")
+        if self.sample_interval < 1:
+            raise ValidationError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+        if self.burn_in_steps < 0:
+            raise ValidationError(
+                f"burn_in_steps must be >= 0, got {self.burn_in_steps}"
+            )
+        if self.readout not in ("membrane", "spike"):
+            raise ValidationError(
+                f"readout must be 'membrane' or 'spike', got {self.readout!r}"
+            )
+        if self.sdp_max_iterations < 0:
+            raise ValidationError("sdp_max_iterations must be >= 0")
+        check_positive(self.sdp_tolerance, "sdp_tolerance")
+
+
+@dataclass(frozen=True)
+class LIFTrevisanConfig:
+    """Configuration of the LIF-Trevisan circuit.
+
+    Attributes
+    ----------
+    weight_scale:
+        Scale applied to the Trevisan matrix when forming device-to-neuron
+        weights (ratios, not magnitudes, determine the covariance structure).
+    sample_interval:
+        LIF steps (and plasticity updates) between consecutive cut read-outs.
+    burn_in_steps:
+        Steps simulated before plasticity starts, letting the membranes reach
+        stationarity.
+    learning_rate, learning_rate_decay:
+        Anti-Hebbian Oja learning-rate schedule.
+    normalize_plasticity_inputs:
+        Scale membrane vectors to unit RMS before each plasticity update so
+        the effective learning rate is independent of the weight scale.
+    lif:
+        Electrical parameters of the stage-1 LIF population.
+    """
+
+    weight_scale: float = 1.0
+    sample_interval: int = 10
+    burn_in_steps: int = 100
+    learning_rate: float = 0.02
+    learning_rate_decay: float = 0.0
+    normalize_plasticity_inputs: bool = True
+    lif: LIFParameters = field(default_factory=LIFParameters)
+
+    def __post_init__(self) -> None:
+        check_positive(self.weight_scale, "weight_scale")
+        if self.sample_interval < 1:
+            raise ValidationError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+        if self.burn_in_steps < 0:
+            raise ValidationError(
+                f"burn_in_steps must be >= 0, got {self.burn_in_steps}"
+            )
+        check_positive(self.learning_rate, "learning_rate")
+        if self.learning_rate_decay < 0:
+            raise ValidationError("learning_rate_decay must be non-negative")

@@ -1,0 +1,163 @@
+"""LIF-Goemans-Williamson circuit (paper §IV.A, Figure 1).
+
+Pipeline:
+
+1. Solve the MAXCUT SDP offline (Burer-Monteiro, rank ``config.rank``) to get
+   unit vectors ``w_i`` — one per vertex.
+2. Build a pool of ``rank`` stochastic devices and a LIF population of ``n``
+   neurons with device-to-neuron weights ``W = weight_scale * W_GW``.
+3. Simulate the LIF membranes.  With centred fair-coin inputs the stationary
+   membrane covariance is proportional to the SDP Gram matrix
+   ``W_GW W_GW^T`` (paper §III.C), so thresholding the membranes at zero
+   every ``sample_interval`` steps performs the Bertsimas-Ye Gaussian
+   rounding of the SDP solution.  The alternative ``"spike"`` readout maps
+   spiking vs. silent neurons at the read-out step to the two sides of the
+   cut, exactly as the hardware circuit would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.base import CircuitResult, NeuromorphicCircuit, SampleTrajectory
+from repro.circuits.config import LIFGWConfig
+from repro.cuts.cut import Cut, cut_weights_batch
+from repro.devices.base import DevicePool
+from repro.devices.bernoulli import FairCoinPool
+from repro.graphs.graph import Graph
+from repro.neurons.encoding import membrane_sign_assignments, spikes_to_assignments
+from repro.neurons.lif import LIFPopulation
+from repro.sdp.burer_monteiro import SDPResult, solve_maxcut_sdp
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import ValidationError
+
+__all__ = ["LIFGWCircuit"]
+
+_logger = get_logger("circuits.lif_gw")
+
+
+class LIFGWCircuit(NeuromorphicCircuit):
+    """Neuromorphic implementation of the GW sampling/rounding step.
+
+    Parameters
+    ----------
+    graph:
+        Graph to cut.
+    config:
+        Circuit configuration (rank, read-out mode, LIF parameters, ...).
+    sdp_result:
+        Optional pre-computed SDP solution.  When omitted the circuit solves
+        the SDP itself during construction (the paper's "offline" step).
+    device_pool_factory:
+        Callable ``(n_devices, rng) -> DevicePool`` used to build the random
+        device pool; defaults to independent fair coins.  Ablation experiments
+        substitute biased / correlated / drifting pools here.
+    seed:
+        Randomness for the SDP initial point (only used when *sdp_result* is
+        not supplied).
+    """
+
+    name = "lif_gw"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[LIFGWConfig] = None,
+        sdp_result: Optional[SDPResult] = None,
+        device_pool_factory=None,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(graph)
+        self.config = config or LIFGWConfig()
+        self._device_pool_factory = device_pool_factory or (
+            lambda n_devices, rng: FairCoinPool(n_devices, seed=rng)
+        )
+
+        if sdp_result is None:
+            sdp_result = solve_maxcut_sdp(
+                graph,
+                rank=self.config.rank,
+                max_iterations=self.config.sdp_max_iterations,
+                tolerance=self.config.sdp_tolerance,
+                seed=seed,
+            )
+        elif sdp_result.vectors.shape != (graph.n_vertices, self.config.rank):
+            raise ValidationError(
+                "sdp_result.vectors shape "
+                f"{sdp_result.vectors.shape} does not match "
+                f"(n_vertices={graph.n_vertices}, rank={self.config.rank})"
+            )
+        self.sdp_result = sdp_result
+
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Device-to-neuron weight matrix ``weight_scale * W_GW``."""
+        return self.config.weight_scale * self.sdp_result.vectors
+
+    def build_population(self) -> LIFPopulation:
+        """Construct a fresh LIF population wired with the SDP weights."""
+        return LIFPopulation(self.weights, params=self.config.lif)
+
+    def build_device_pool(self, rng: RandomState = None) -> DevicePool:
+        """Construct the stochastic device pool (one device per SDP dimension)."""
+        pool = self._device_pool_factory(self.config.rank, as_generator(rng))
+        if pool.n_devices != self.config.rank:
+            raise ValidationError(
+                f"device pool must have {self.config.rank} devices, got {pool.n_devices}"
+            )
+        return pool
+
+    # ------------------------------------------------------------------
+    def sample_cuts(self, n_samples: int, seed: RandomState = None) -> CircuitResult:
+        """Run the circuit long enough to read out *n_samples* cuts."""
+        if n_samples < 1:
+            raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+        device_rng, _ = spawn_generators(seed, 2)
+        pool = self.build_device_pool(device_rng)
+        population = self.build_population()
+        config = self.config
+
+        n_steps = config.burn_in_steps + n_samples * config.sample_interval
+        device_states = pool.sample(n_steps)
+
+        if config.readout == "membrane":
+            potentials = population.run_subthreshold(
+                device_states, burn_in=config.burn_in_steps
+            )
+            readout_rows = potentials[config.sample_interval - 1 :: config.sample_interval]
+            assignments = membrane_sign_assignments(readout_rows)
+        else:
+            run = population.run(device_states, burn_in=config.burn_in_steps)
+            spike_rows = run["spikes"][config.sample_interval - 1 :: config.sample_interval]
+            assignments = spikes_to_assignments(spike_rows)
+
+        assignments = assignments[:n_samples]
+        weights = cut_weights_batch(self.graph, assignments)
+        best_index = int(np.argmax(weights))
+        best_cut = Cut(
+            assignment=assignments[best_index].astype(np.int8),
+            weight=float(weights[best_index]),
+            graph_name=self.graph.name,
+        )
+        _logger.debug(
+            "LIF-GW on %s: %d samples, best cut %.1f",
+            self.graph.name, n_samples, best_cut.weight,
+        )
+        return CircuitResult(
+            graph_name=self.graph.name,
+            best_cut=best_cut,
+            trajectory=SampleTrajectory(weights=weights),
+            n_samples=int(assignments.shape[0]),
+            n_steps=n_steps,
+            metadata={
+                "sdp_objective": self.sdp_result.objective,
+                "sdp_converged": self.sdp_result.converged,
+                "rank": self.config.rank,
+                "readout": config.readout,
+                "n_devices": pool.n_devices,
+            },
+        )

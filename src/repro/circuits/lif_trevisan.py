@@ -1,0 +1,160 @@
+"""LIF-Trevisan circuit (paper §IV.B, Figure 2).
+
+Pipeline (no offline preprocessing — the whole computation happens in-circuit):
+
+1. Build a pool of ``n`` stochastic devices (one per vertex) and a LIF
+   population of ``n`` neurons with device-to-neuron weights proportional to
+   the Trevisan matrix ``T = I + D^{-1/2} A D^{-1/2}``.
+2. The stationary membrane covariance is then proportional to ``T T^T = T^2``
+   (paper §III.C).  ``T`` is symmetric positive semidefinite, so ``T^2`` has
+   the same eigenvectors as ``T`` with squared eigenvalues, and in particular
+   the *minimum* eigenvector of the membrane covariance is the minimum
+   eigenvector of the normalized adjacency — exactly the vector the Trevisan
+   simple-spectral algorithm thresholds.
+3. A stage-2 output neuron receives the LIF membrane activity through a
+   weight vector ``w`` updated by Oja's anti-Hebbian (minor-component) rule.
+   The rule converges to that minimum eigenvector; the circuit's cut read-out
+   is ``sign(w)``, sampled every ``sample_interval`` plasticity steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.base import CircuitResult, NeuromorphicCircuit, SampleTrajectory
+from repro.circuits.config import LIFTrevisanConfig
+from repro.cuts.cut import Cut, cut_weights_batch
+from repro.devices.base import DevicePool
+from repro.devices.bernoulli import FairCoinPool
+from repro.graphs.graph import Graph
+from repro.neurons.lif import LIFPopulation
+from repro.neurons.plasticity import AntiHebbianMinorComponent
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import ValidationError
+
+__all__ = ["LIFTrevisanCircuit"]
+
+_logger = get_logger("circuits.lif_trevisan")
+
+
+class LIFTrevisanCircuit(NeuromorphicCircuit):
+    """Neuromorphic implementation of the Trevisan simple-spectral algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Graph to cut.
+    config:
+        Circuit configuration (plasticity schedule, LIF parameters, ...).
+    device_pool_factory:
+        Callable ``(n_devices, rng) -> DevicePool``; defaults to independent
+        fair coins, one device per graph vertex (the paper's resource count).
+    """
+
+    name = "lif_tr"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[LIFTrevisanConfig] = None,
+        device_pool_factory=None,
+    ) -> None:
+        super().__init__(graph)
+        self.config = config or LIFTrevisanConfig()
+        self._device_pool_factory = device_pool_factory or (
+            lambda n_devices, rng: FairCoinPool(n_devices, seed=rng)
+        )
+        # The in-circuit "program": weights proportional to the Trevisan matrix.
+        self._trevisan_matrix = graph.trevisan_matrix()
+
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Device-to-neuron weight matrix ``weight_scale * (I + D^{-1/2} A D^{-1/2})``."""
+        return self.config.weight_scale * self._trevisan_matrix
+
+    def build_population(self) -> LIFPopulation:
+        """Construct a fresh LIF population wired with the Trevisan weights."""
+        return LIFPopulation(self.weights, params=self.config.lif)
+
+    def build_device_pool(self, rng: RandomState = None) -> DevicePool:
+        """Construct the device pool: one random device per graph vertex."""
+        pool = self._device_pool_factory(self.graph.n_vertices, as_generator(rng))
+        if pool.n_devices != self.graph.n_vertices:
+            raise ValidationError(
+                f"device pool must have {self.graph.n_vertices} devices, "
+                f"got {pool.n_devices}"
+            )
+        return pool
+
+    # ------------------------------------------------------------------
+    def sample_cuts(self, n_samples: int, seed: RandomState = None) -> CircuitResult:
+        """Run the circuit, applying plasticity every step and reading out cuts.
+
+        The read-out cadence is one cut per ``sample_interval`` LIF/plasticity
+        steps, so *n_samples* read-outs require
+        ``burn_in_steps + n_samples * sample_interval`` simulated steps.
+        """
+        if n_samples < 1:
+            raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+        device_rng, plasticity_rng = spawn_generators(seed, 2)
+        pool = self.build_device_pool(device_rng)
+        population = self.build_population()
+        config = self.config
+        n = self.graph.n_vertices
+
+        learner = AntiHebbianMinorComponent(
+            n_inputs=n,
+            learning_rate=config.learning_rate,
+            learning_rate_decay=config.learning_rate_decay,
+            normalize_inputs=config.normalize_plasticity_inputs,
+            seed=plasticity_rng,
+        )
+
+        n_steps = config.burn_in_steps + n_samples * config.sample_interval
+        device_states = pool.sample(n_steps)
+        # Subthreshold membrane trajectory after burn-in drives the plasticity.
+        potentials = population.run_subthreshold(
+            device_states, burn_in=config.burn_in_steps
+        )
+
+        assignments = np.empty((n_samples, n), dtype=np.int8)
+        sample_index = 0
+        for t in range(potentials.shape[0]):
+            learner.step(potentials[t])
+            if (t + 1) % config.sample_interval == 0 and sample_index < n_samples:
+                assignments[sample_index] = learner.sign_assignment()
+                sample_index += 1
+        # If rounding of steps left trailing samples unfilled (cannot happen with
+        # the exact step count above, but guard anyway), repeat the last state.
+        while sample_index < n_samples:
+            assignments[sample_index] = learner.sign_assignment()
+            sample_index += 1
+
+        weights = cut_weights_batch(self.graph, assignments)
+        best_index = int(np.argmax(weights))
+        best_cut = Cut(
+            assignment=assignments[best_index].astype(np.int8),
+            weight=float(weights[best_index]),
+            graph_name=self.graph.name,
+        )
+        _logger.debug(
+            "LIF-TR on %s: %d samples, best cut %.1f",
+            self.graph.name, n_samples, best_cut.weight,
+        )
+        return CircuitResult(
+            graph_name=self.graph.name,
+            best_cut=best_cut,
+            trajectory=SampleTrajectory(weights=weights),
+            n_samples=n_samples,
+            n_steps=n_steps,
+            metadata={
+                "final_plasticity_weights": learner.weights.copy(),
+                "n_plasticity_updates": learner.n_updates,
+                "n_devices": pool.n_devices,
+                "learning_rate": config.learning_rate,
+            },
+        )

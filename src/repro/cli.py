@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve       Run one solver (circuit or classical) on a graph and print the cut.
+figure3     Run a (reduced) Figure 3 Erdős–Rényi sweep.
+figure4     Run Figure 4 panels on empirical graphs.
+table1      Regenerate Table I rows.
+ablation    Run the device-imperfection / rank / learning-rate ablations.
+graphs      List the empirical graphs in the Table I registry.
+
+Every command accepts ``--save results.json`` to persist results through
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.algorithms.registry import get_solver, list_solvers
+from repro.experiments.ablations import (
+    run_device_imperfection_ablation,
+    run_learning_rate_ablation,
+    run_rank_ablation,
+)
+from repro.experiments.config import AblationConfig, Figure3Config, Figure4Config, Table1Config
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.reporting import (
+    format_figure3_report,
+    format_figure4_report,
+    format_table,
+    format_table1_report,
+)
+from repro.experiments.runner import save_results
+from repro.experiments.table1 import run_table1
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import read_edge_list, read_matrix_market
+from repro.graphs.repository import EMPIRICAL_GRAPHS, list_empirical_graphs, load_empirical_graph
+from repro.parallel.pool import ParallelConfig
+from repro.plotting.ascii import render_curves
+from repro.utils.logging import configure_logging
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(args: argparse.Namespace):
+    """Resolve the graph requested by --graph / --er options."""
+    if args.graph is not None:
+        name = args.graph
+        if name in EMPIRICAL_GRAPHS:
+            return load_empirical_graph(name, seed=args.seed)
+        if name.endswith(".mtx"):
+            return read_matrix_market(name)
+        return read_edge_list(name)
+    n, p = args.er
+    return erdos_renyi(int(n), float(p), seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stochastic neuromorphic MAXCUT circuits (paper reproduction CLI)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument("--save", type=str, default=None, help="write results to this JSON file")
+    parser.add_argument("--verbose", action="store_true", help="enable library logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # solve ------------------------------------------------------------------
+    solve = subparsers.add_parser("solve", help="run one solver on one graph")
+    solve.add_argument("--solver", choices=list_solvers(), default="lif_gw")
+    solve.add_argument("--graph", type=str, default=None,
+                       help="Table I graph name or an edge-list / .mtx file path")
+    solve.add_argument("--er", type=float, nargs=2, metavar=("N", "P"), default=(50, 0.25),
+                       help="Erdős–Rényi parameters used when --graph is not given")
+    solve.add_argument("--samples", type=int, default=512)
+
+    # figure3 ----------------------------------------------------------------
+    figure3 = subparsers.add_parser("figure3", help="Erdős–Rényi convergence sweep (Figure 3)")
+    figure3.add_argument("--sizes", type=int, nargs="+", default=[50])
+    figure3.add_argument("--probabilities", type=float, nargs="+", default=[0.25])
+    figure3.add_argument("--graphs-per-cell", type=int, default=3)
+    figure3.add_argument("--samples", type=int, default=512)
+    figure3.add_argument("--workers", type=int, default=1)
+    figure3.add_argument("--plot", action="store_true", help="render ASCII convergence plots")
+
+    # figure4 ----------------------------------------------------------------
+    figure4 = subparsers.add_parser("figure4", help="empirical-graph convergence curves (Figure 4)")
+    figure4.add_argument("--graphs", nargs="+", default=["hamming6-2"],
+                         choices=list_empirical_graphs(), metavar="GRAPH")
+    figure4.add_argument("--samples", type=int, default=512)
+    figure4.add_argument("--plot", action="store_true")
+
+    # table1 -----------------------------------------------------------------
+    table1 = subparsers.add_parser("table1", help="maximum cut values table (Table I)")
+    table1.add_argument("--graphs", nargs="+", default=None,
+                        choices=list_empirical_graphs(), metavar="GRAPH")
+    table1.add_argument("--samples", type=int, default=1024)
+
+    # ablation ---------------------------------------------------------------
+    ablation = subparsers.add_parser("ablation", help="device / rank / learning-rate ablations")
+    ablation.add_argument("--kind", choices=["devices", "rank", "learning-rate"], default="devices")
+    ablation.add_argument("--circuit", choices=["lif_gw", "lif_tr"], default="lif_gw")
+    ablation.add_argument("--vertices", type=int, default=50)
+    ablation.add_argument("--samples", type=int, default=256)
+
+    # graphs -----------------------------------------------------------------
+    subparsers.add_parser("graphs", help="list the Table I empirical graph registry")
+
+    return parser
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    solver = get_solver(args.solver)
+    cut = solver(graph, n_samples=args.samples, seed=args.seed)
+    print(f"graph      : {graph.name} ({graph.n_vertices} vertices, {graph.n_edges} edges)")
+    print(f"solver     : {args.solver}")
+    print(f"cut weight : {cut.weight:g}  (of total edge weight {graph.total_weight:g})")
+    sides = cut.side_sizes
+    print(f"partition  : {sides[0]} / {sides[1]} vertices")
+    return 0
+
+
+def _command_figure3(args: argparse.Namespace) -> int:
+    config = Figure3Config(
+        sizes=tuple(args.sizes),
+        probabilities=tuple(args.probabilities),
+        n_graphs_per_cell=args.graphs_per_cell,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    cells = run_figure3(config=config, parallel=ParallelConfig(n_workers=args.workers))
+    print(format_figure3_report(cells))
+    if args.plot:
+        for cell in cells:
+            print()
+            print(render_curves(
+                cell.sample_counts, cell.curves,
+                title=f"G({cell.n_vertices}, {cell.probability:g}) relative cut weight",
+            ))
+    if args.save:
+        save_results(args.save, "figure3", cells, config={"n_samples": args.samples})
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
+def _command_figure4(args: argparse.Namespace) -> int:
+    config = Figure4Config(n_samples=args.samples, seed=args.seed)
+    panels = run_figure4(args.graphs, config=config)
+    print(format_figure4_report(panels))
+    if args.plot:
+        for panel in panels:
+            print()
+            print(render_curves(
+                panel.sample_counts, panel.curves,
+                title=f"{panel.graph_name} relative cut weight",
+            ))
+    if args.save:
+        save_results(args.save, "figure4", panels, config={"n_samples": args.samples})
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    config = Table1Config(n_samples=args.samples, seed=args.seed)
+    rows = run_table1(args.graphs, config=config)
+    print(format_table1_report(rows))
+    if args.save:
+        save_results(args.save, "table1", rows, config={"n_samples": args.samples})
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    config = AblationConfig(n_vertices=args.vertices, n_samples=args.samples, seed=args.seed)
+    if args.kind == "devices":
+        points = run_device_imperfection_ablation(config=config, circuit=args.circuit)
+    elif args.kind == "rank":
+        points = run_rank_ablation(config=config)
+    else:
+        points = run_learning_rate_ablation(config=config)
+    rows = [[p.setting, p.mean_relative_cut, p.sem] for p in points]
+    print(format_table(["setting", "relative cut", "sem"], rows))
+    if args.save:
+        save_results(args.save, f"ablation-{args.kind}", points, config={"circuit": args.circuit})
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
+def _command_graphs(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_empirical_graphs():
+        spec = EMPIRICAL_GRAPHS[name]
+        rows.append([name, spec.n_vertices, spec.n_edges, spec.kind, spec.family, spec.description])
+    print(format_table(["graph", "n", "m", "kind", "family", "description"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "solve": _command_solve,
+    "figure3": _command_figure3,
+    "figure4": _command_figure4,
+    "table1": _command_table1,
+    "ablation": _command_ablation,
+    "graphs": _command_graphs,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Cut representation and vectorised cut-weight evaluation.
+
+The MAXCUT objective used throughout the paper is
+
+    cut(v) = 1/2 * sum_ij A_ij (1 - v_i v_j),   v in {-1, +1}^n,
+
+which counts (the weight of) edges whose endpoints receive opposite signs.
+Because the circuits generate hundreds of thousands of candidate cuts, the
+batch evaluator works directly on the edge list:  evaluating ``k`` cuts costs
+``O(k * m)`` with a single vectorised comparison, no dense ``n x n`` products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError, check_spin_vector
+
+__all__ = [
+    "Cut",
+    "cut_weight",
+    "cut_weights_batch",
+    "spins_from_bits",
+    "bits_from_spins",
+]
+
+
+def spins_from_bits(bits: np.ndarray) -> np.ndarray:
+    """Map 0/1 arrays to -1/+1 arrays (0 -> -1, 1 -> +1)."""
+    bits = np.asarray(bits)
+    return (2 * bits.astype(np.int8) - 1).astype(np.int8)
+
+
+def bits_from_spins(spins: np.ndarray) -> np.ndarray:
+    """Map -1/+1 arrays to 0/1 arrays (-1 -> 0, +1 -> 1)."""
+    spins = np.asarray(spins)
+    return ((spins + 1) // 2).astype(np.int8)
+
+
+def cut_weight(graph: Graph, assignment: np.ndarray) -> float:
+    """Weight of the cut induced by a ±1 *assignment*.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose edges are counted.
+    assignment:
+        Length-``n`` vector of ±1 vertex labels.
+
+    Returns
+    -------
+    float
+        Total weight of edges whose endpoints have opposite labels.
+    """
+    assignment = check_spin_vector(assignment, graph.n_vertices)
+    if graph.n_edges == 0:
+        return 0.0
+    edges = graph.edges
+    crossing = assignment[edges[:, 0]] != assignment[edges[:, 1]]
+    return float(graph.edge_weights[crossing].sum())
+
+
+def cut_weights_batch(graph: Graph, assignments: np.ndarray) -> np.ndarray:
+    """Weights of many cuts at once.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose edges are counted.
+    assignments:
+        ``(k, n)`` array of ±1 labels, one cut per row.  A 1-D input is
+        treated as a single cut.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``k`` array of cut weights.
+    """
+    assignments = np.asarray(assignments)
+    if assignments.ndim == 1:
+        assignments = assignments[None, :]
+    if assignments.ndim != 2 or assignments.shape[1] != graph.n_vertices:
+        raise ValidationError(
+            f"assignments must have shape (k, {graph.n_vertices}), "
+            f"got {assignments.shape}"
+        )
+    if assignments.size and not np.all(np.isin(assignments, (-1, 1))):
+        raise ValidationError("assignments must contain only -1/+1 entries")
+    if graph.n_edges == 0:
+        return np.zeros(assignments.shape[0], dtype=np.float64)
+    edges = graph.edges
+    # (k, m) boolean crossing mask computed with two gathers and one compare.
+    left = assignments[:, edges[:, 0]]
+    right = assignments[:, edges[:, 1]]
+    crossing = left != right
+    return crossing @ graph.edge_weights
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An evaluated cut: a ±1 assignment together with its weight.
+
+    Instances are immutable and ordered by weight, so ``max(cuts)`` returns
+    the best cut found.
+    """
+
+    assignment: np.ndarray
+    weight: float
+    graph_name: str = "graph"
+
+    @classmethod
+    def from_assignment(cls, graph: Graph, assignment: np.ndarray) -> "Cut":
+        """Evaluate *assignment* against *graph* and wrap it in a ``Cut``."""
+        assignment = check_spin_vector(assignment, graph.n_vertices)
+        return cls(
+            assignment=assignment.copy(),
+            weight=cut_weight(graph, assignment),
+            graph_name=graph.name,
+        )
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.assignment.shape[0])
+
+    @property
+    def side_sizes(self) -> tuple[int, int]:
+        """Sizes of the two vertex classes ``(|V_{-1}|, |V_{+1}|)``."""
+        positive = int(np.count_nonzero(self.assignment == 1))
+        return self.n_vertices - positive, positive
+
+    def complement(self) -> "Cut":
+        """The same cut with both sides swapped (identical weight)."""
+        return Cut(
+            assignment=(-self.assignment).astype(np.int8),
+            weight=self.weight,
+            graph_name=self.graph_name,
+        )
+
+    def partition(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex index arrays for the -1 side and the +1 side."""
+        negative = np.flatnonzero(self.assignment == -1)
+        positive = np.flatnonzero(self.assignment == 1)
+        return negative, positive
+
+    def __lt__(self, other: "Cut") -> bool:
+        return self.weight < other.weight
+
+    def __le__(self, other: "Cut") -> bool:
+        return self.weight <= other.weight
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cut):
+            return NotImplemented
+        return self.weight == other.weight and np.array_equal(
+            self.assignment, other.assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.weight, self.assignment.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"Cut(graph={self.graph_name!r}, weight={self.weight:g}, "
+            f"sides={self.side_sizes})"
+        )
+
+
+def running_best_cuts(weights: np.ndarray) -> np.ndarray:
+    """Running maximum of a sequence of cut weights (the paper's Figures 3-4 y-axis).
+
+    ``running_best_cuts(w)[t]`` is the best cut weight observed in the first
+    ``t + 1`` samples.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ValidationError(f"weights must be 1-D, got shape {weights.shape}")
+    return np.maximum.accumulate(weights)

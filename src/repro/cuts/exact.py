@@ -1,0 +1,69 @@
+"""Exact MAXCUT by exhaustive enumeration, for validating approximations.
+
+Only feasible for small graphs (n <= ~24); the implementation enumerates all
+``2^{n-1}`` assignments (vertex 0 fixed to +1, since a cut and its complement
+have the same weight) in vectorised blocks so the constant factor stays small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuts.cut import Cut, cut_weights_batch
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+
+__all__ = ["exact_maxcut", "exact_maxcut_value", "MAX_EXACT_VERTICES"]
+
+#: Hard cap on the exhaustive search; above this the search space exceeds 2^24.
+MAX_EXACT_VERTICES = 25
+
+
+def _assignments_block(start: int, stop: int, n: int) -> np.ndarray:
+    """±1 assignments for enumeration indices ``start .. stop-1``.
+
+    Index ``i`` encodes the labels of vertices ``1 .. n-1`` in binary; vertex 0
+    is always +1.
+    """
+    indices = np.arange(start, stop, dtype=np.uint64)
+    bits = ((indices[:, None] >> np.arange(n - 1, dtype=np.uint64)[None, :]) & 1).astype(np.int8)
+    assignments = np.ones((indices.shape[0], n), dtype=np.int8)
+    assignments[:, 1:] = 2 * bits - 1
+    return assignments
+
+
+def exact_maxcut(graph: Graph, block_size: int = 1 << 14) -> Cut:
+    """Exhaustively find a maximum cut of *graph*.
+
+    Raises
+    ------
+    ValidationError
+        If the graph has more than :data:`MAX_EXACT_VERTICES` vertices.
+    """
+    n = graph.n_vertices
+    if n > MAX_EXACT_VERTICES:
+        raise ValidationError(
+            f"exact_maxcut supports at most {MAX_EXACT_VERTICES} vertices, got {n}"
+        )
+    if n == 0:
+        return Cut(assignment=np.zeros(0, dtype=np.int8), weight=0.0, graph_name=graph.name)
+    if n == 1:
+        return Cut(assignment=np.ones(1, dtype=np.int8), weight=0.0, graph_name=graph.name)
+
+    total = 1 << (n - 1)
+    best_weight = -np.inf
+    best_assignment = np.ones(n, dtype=np.int8)
+    for start in range(0, total, block_size):
+        stop = min(start + block_size, total)
+        assignments = _assignments_block(start, stop, n)
+        weights = cut_weights_batch(graph, assignments)
+        idx = int(np.argmax(weights))
+        if weights[idx] > best_weight:
+            best_weight = float(weights[idx])
+            best_assignment = assignments[idx].copy()
+    return Cut(assignment=best_assignment, weight=best_weight, graph_name=graph.name)
+
+
+def exact_maxcut_value(graph: Graph) -> float:
+    """Maximum cut value of *graph* (exhaustive; small graphs only)."""
+    return exact_maxcut(graph).weight

@@ -1,0 +1,52 @@
+"""Uniformly random cuts — the paper's 'Random' baseline (red X curves)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuts.cut import Cut, cut_weights_batch, spins_from_bits
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ValidationError
+
+__all__ = ["random_cut", "random_cuts_batch", "best_random_cut"]
+
+
+def random_cut(graph: Graph, seed: RandomState = None) -> Cut:
+    """Sample a single uniformly random ±1 assignment and evaluate it."""
+    rng = as_generator(seed)
+    assignment = spins_from_bits(rng.integers(0, 2, size=graph.n_vertices))
+    return Cut.from_assignment(graph, assignment)
+
+
+def random_cuts_batch(
+    graph: Graph, n_samples: int, seed: RandomState = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample *n_samples* random cuts.
+
+    Returns
+    -------
+    (assignments, weights):
+        ``(k, n)`` ±1 assignments and the corresponding ``(k,)`` weights.
+    """
+    if n_samples < 0:
+        raise ValidationError(f"n_samples must be non-negative, got {n_samples}")
+    rng = as_generator(seed)
+    assignments = spins_from_bits(
+        rng.integers(0, 2, size=(n_samples, graph.n_vertices))
+    )
+    weights = cut_weights_batch(graph, assignments) if n_samples else np.zeros(0)
+    return assignments, weights
+
+
+def best_random_cut(graph: Graph, n_samples: int, seed: RandomState = None) -> Cut:
+    """Best of *n_samples* uniformly random cuts (requires n_samples >= 1)."""
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    assignments, weights = random_cuts_batch(graph, n_samples, seed)
+    best = int(np.argmax(weights))
+    return Cut(
+        assignment=assignments[best].astype(np.int8),
+        weight=float(weights[best]),
+        graph_name=graph.name,
+    )

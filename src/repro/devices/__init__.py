@@ -1,0 +1,26 @@
+"""Stochastic device models (paper §III.A).
+
+The paper idealises stochastic microelectronic devices (magnetic tunnel
+junctions, tunnel diodes) as independent fair coins: at every time step each
+device is 0 or 1 with probability 0.5.  The Discussion section notes that real
+devices may be biased, correlated, or drift over time; this package implements
+the idealised pool and those imperfection models so the ablation experiments
+(DESIGN.md E4) can quantify robustness.
+"""
+
+from repro.devices.base import DevicePool, DeviceStatistics, estimate_statistics
+from repro.devices.bernoulli import FairCoinPool, BiasedCoinPool
+from repro.devices.correlated import CorrelatedDevicePool
+from repro.devices.drift import DriftingDevicePool
+from repro.devices.telegraph import TelegraphNoisePool
+
+__all__ = [
+    "DevicePool",
+    "DeviceStatistics",
+    "estimate_statistics",
+    "FairCoinPool",
+    "BiasedCoinPool",
+    "CorrelatedDevicePool",
+    "DriftingDevicePool",
+    "TelegraphNoisePool",
+]

@@ -1,0 +1,188 @@
+"""Ablation studies (DESIGN.md E4 and E6).
+
+Three ablations the paper's Discussion calls for but does not run:
+
+* **Device imperfection** — how biased, correlated, temporally correlated
+  (telegraph) and drifting devices change LIF-GW / LIF-TR cut quality.
+* **SDP rank** — the paper fixes the LIF-GW rank at 4; this sweep varies it.
+* **Learning rate** — sensitivity of the LIF-TR plasticity to its learning
+  rate / decay schedule.
+
+All ablations run on fixed Erdős–Rényi graphs and report mean relative cut
+weight (relative to the software solver) per setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.goemans_williamson import goemans_williamson
+from repro.analysis.statistics import mean_and_sem
+from repro.circuits.config import LIFGWConfig, LIFTrevisanConfig
+from repro.circuits.lif_gw import LIFGWCircuit
+from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+from repro.devices.bernoulli import BiasedCoinPool, FairCoinPool
+from repro.devices.correlated import CorrelatedDevicePool
+from repro.devices.drift import DriftingDevicePool
+from repro.devices.telegraph import TelegraphNoisePool
+from repro.experiments.config import AblationConfig
+from repro.graphs.generators import erdos_renyi
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedStream
+
+__all__ = [
+    "AblationPoint",
+    "DEVICE_MODELS",
+    "run_device_imperfection_ablation",
+    "run_rank_ablation",
+    "run_learning_rate_ablation",
+]
+
+_logger = get_logger("experiments.ablations")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One setting of an ablation sweep with its measured relative cut quality."""
+
+    setting: str
+    mean_relative_cut: float
+    sem: float
+    per_graph: np.ndarray
+    metadata: Dict = field(default_factory=dict)
+
+
+#: Device-model factories for the imperfection ablation, keyed by label.
+DEVICE_MODELS: Dict[str, Callable] = {
+    "fair": lambda n, rng: FairCoinPool(n, seed=rng),
+    "biased_0.6": lambda n, rng: BiasedCoinPool(0.6, n_devices=n, seed=rng),
+    "biased_0.8": lambda n, rng: BiasedCoinPool(0.8, n_devices=n, seed=rng),
+    "correlated_0.2": lambda n, rng: CorrelatedDevicePool(n, 0.2, seed=rng),
+    "correlated_0.5": lambda n, rng: CorrelatedDevicePool(n, 0.5, seed=rng),
+    "telegraph_slow": lambda n, rng: TelegraphNoisePool(n, switch_up=0.1, seed=rng),
+    "drifting": lambda n, rng: DriftingDevicePool(n, drift_rate=0.01, drift_scale=0.2, seed=rng),
+}
+
+
+def _ablation_graphs(config: AblationConfig) -> list:
+    stream = SeedStream(config.seed)
+    return [
+        erdos_renyi(
+            config.n_vertices,
+            config.edge_probability,
+            seed=stream.generator_for(i),
+            name=f"ablation_er_{i}",
+        )
+        for i in range(config.n_graphs)
+    ]
+
+
+def _solver_references(graphs, config: AblationConfig) -> np.ndarray:
+    stream = SeedStream(None if config.seed is None else config.seed + 1)
+    refs = []
+    for i, graph in enumerate(graphs):
+        result = goemans_williamson(graph, n_samples=100, seed=stream.generator_for(i))
+        refs.append(max(result.best_weight, 1.0))
+    return np.array(refs)
+
+
+def run_device_imperfection_ablation(
+    config: Optional[AblationConfig] = None,
+    circuit: str = "lif_gw",
+    device_models: Optional[Dict[str, Callable]] = None,
+) -> List[AblationPoint]:
+    """Sweep device models for one circuit type (``"lif_gw"`` or ``"lif_tr"``)."""
+    if circuit not in ("lif_gw", "lif_tr"):
+        raise ValueError(f"circuit must be 'lif_gw' or 'lif_tr', got {circuit!r}")
+    config = config or AblationConfig()
+    device_models = device_models or DEVICE_MODELS
+    graphs = _ablation_graphs(config)
+    references = _solver_references(graphs, config)
+    stream = SeedStream(None if config.seed is None else config.seed + 2)
+
+    points: List[AblationPoint] = []
+    for label, factory in device_models.items():
+        ratios = np.empty(len(graphs))
+        for i, graph in enumerate(graphs):
+            run_seed = stream.generator_for(hash((label, i)) % (2**31))
+            if circuit == "lif_gw":
+                circ = LIFGWCircuit(graph, device_pool_factory=factory, seed=run_seed)
+            else:
+                circ = LIFTrevisanCircuit(graph, device_pool_factory=factory)
+            result = circ.sample_cuts(config.n_samples, seed=run_seed)
+            ratios[i] = result.best_weight / references[i]
+        mean, sem = mean_and_sem(ratios)
+        _logger.info("device ablation %s/%s: %.3f +/- %.3f", circuit, label, mean, sem)
+        points.append(
+            AblationPoint(
+                setting=label, mean_relative_cut=mean, sem=sem, per_graph=ratios,
+                metadata={"circuit": circuit},
+            )
+        )
+    return points
+
+
+def run_rank_ablation(
+    config: Optional[AblationConfig] = None,
+    ranks: Sequence[int] = (2, 3, 4, 8, 16),
+) -> List[AblationPoint]:
+    """Sweep the LIF-GW SDP factorisation rank (the paper fixes 4)."""
+    config = config or AblationConfig()
+    graphs = _ablation_graphs(config)
+    references = _solver_references(graphs, config)
+    stream = SeedStream(None if config.seed is None else config.seed + 3)
+
+    points: List[AblationPoint] = []
+    for rank in ranks:
+        gw_config = LIFGWConfig(rank=int(rank))
+        ratios = np.empty(len(graphs))
+        for i, graph in enumerate(graphs):
+            run_seed = stream.generator_for(hash((rank, i)) % (2**31))
+            circ = LIFGWCircuit(graph, config=gw_config, seed=run_seed)
+            result = circ.sample_cuts(config.n_samples, seed=run_seed)
+            ratios[i] = result.best_weight / references[i]
+        mean, sem = mean_and_sem(ratios)
+        _logger.info("rank ablation r=%d: %.3f +/- %.3f", rank, mean, sem)
+        points.append(
+            AblationPoint(
+                setting=f"rank_{rank}", mean_relative_cut=mean, sem=sem, per_graph=ratios,
+                metadata={"rank": int(rank)},
+            )
+        )
+    return points
+
+
+def run_learning_rate_ablation(
+    config: Optional[AblationConfig] = None,
+    learning_rates: Sequence[float] = (0.001, 0.005, 0.02, 0.1),
+    learning_rate_decay: float = 0.0,
+) -> List[AblationPoint]:
+    """Sweep the LIF-TR anti-Hebbian learning rate."""
+    config = config or AblationConfig()
+    graphs = _ablation_graphs(config)
+    references = _solver_references(graphs, config)
+    stream = SeedStream(None if config.seed is None else config.seed + 4)
+
+    points: List[AblationPoint] = []
+    for eta in learning_rates:
+        tr_config = LIFTrevisanConfig(
+            learning_rate=float(eta), learning_rate_decay=learning_rate_decay
+        )
+        ratios = np.empty(len(graphs))
+        for i, graph in enumerate(graphs):
+            run_seed = stream.generator_for(hash((float(eta), i)) % (2**31))
+            circ = LIFTrevisanCircuit(graph, config=tr_config)
+            result = circ.sample_cuts(config.n_samples, seed=run_seed)
+            ratios[i] = result.best_weight / references[i]
+        mean, sem = mean_and_sem(ratios)
+        _logger.info("learning-rate ablation eta=%g: %.3f +/- %.3f", eta, mean, sem)
+        points.append(
+            AblationPoint(
+                setting=f"eta_{eta:g}", mean_relative_cut=mean, sem=sem, per_graph=ratios,
+                metadata={"learning_rate": float(eta), "decay": learning_rate_decay},
+            )
+        )
+    return points

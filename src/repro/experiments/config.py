@@ -1,0 +1,122 @@
+"""Experiment configuration dataclasses and the paper's parameter grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.circuits.config import LIFGWConfig, LIFTrevisanConfig
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "PAPER_FIGURE3_SIZES",
+    "PAPER_FIGURE3_PROBABILITIES",
+    "PAPER_SAMPLE_BUDGET",
+    "Figure3Config",
+    "Figure4Config",
+    "Table1Config",
+    "AblationConfig",
+]
+
+#: Erdős–Rényi vertex counts used in the paper's Figure 3.
+PAPER_FIGURE3_SIZES: Tuple[int, ...] = (50, 100, 200, 350, 500)
+
+#: Erdős–Rényi connection probabilities used in the paper's Figure 3.
+PAPER_FIGURE3_PROBABILITIES: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75)
+
+#: The paper draws 2^20 cut samples per circuit per graph.
+PAPER_SAMPLE_BUDGET: int = 2**20
+
+
+def _check_counts(n_samples: int, n_graphs: int | None = None) -> None:
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    if n_graphs is not None and n_graphs < 1:
+        raise ValidationError(f"n_graphs_per_cell must be >= 1, got {n_graphs}")
+
+
+@dataclass(frozen=True)
+class Figure3Config:
+    """Configuration of the Figure 3 Erdős–Rényi sweep.
+
+    Defaults are scaled down from the paper (10 graphs per cell, 2^20 samples)
+    so the sweep completes on a laptop; pass the paper values explicitly to
+    regenerate the full figure.
+    """
+
+    sizes: Sequence[int] = PAPER_FIGURE3_SIZES
+    probabilities: Sequence[float] = PAPER_FIGURE3_PROBABILITIES
+    n_graphs_per_cell: int = 10
+    n_samples: int = 1024
+    n_solver_samples: int = 100
+    seed: Optional[int] = 0
+    lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
+    lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
+
+    def __post_init__(self) -> None:
+        _check_counts(self.n_samples, self.n_graphs_per_cell)
+        if not self.sizes or not self.probabilities:
+            raise ValidationError("sizes and probabilities must be non-empty")
+        for n in self.sizes:
+            if n < 2:
+                raise ValidationError(f"graph sizes must be >= 2, got {n}")
+        for p in self.probabilities:
+            if not (0.0 < p <= 1.0):
+                raise ValidationError(f"probabilities must be in (0, 1], got {p}")
+        if self.n_solver_samples < 1:
+            raise ValidationError("n_solver_samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class Figure4Config:
+    """Configuration of the Figure 4 empirical-graph sweep."""
+
+    graph_names: Sequence[str] = ()
+    n_samples: int = 1024
+    n_solver_samples: int = 100
+    seed: Optional[int] = 0
+    lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
+    lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
+
+    def __post_init__(self) -> None:
+        _check_counts(self.n_samples)
+        if self.n_solver_samples < 1:
+            raise ValidationError("n_solver_samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Configuration of the Table I maximum-cut-value reproduction."""
+
+    graph_names: Sequence[str] = ()
+    n_samples: int = 2048
+    n_solver_samples: int = 200
+    n_random_samples: int = 2048
+    seed: Optional[int] = 0
+    lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
+    lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
+
+    def __post_init__(self) -> None:
+        _check_counts(self.n_samples)
+        if self.n_solver_samples < 1 or self.n_random_samples < 1:
+            raise ValidationError("sample counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Shared configuration for the ablation studies (DESIGN.md E4/E6)."""
+
+    n_vertices: int = 60
+    edge_probability: float = 0.25
+    n_graphs: int = 3
+    n_samples: int = 512
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vertices < 2:
+            raise ValidationError("n_vertices must be >= 2")
+        if not (0.0 < self.edge_probability <= 1.0):
+            raise ValidationError("edge_probability must be in (0, 1]")
+        if self.n_graphs < 1:
+            raise ValidationError("n_graphs must be >= 1")
+        _check_counts(self.n_samples)

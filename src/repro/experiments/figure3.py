@@ -1,0 +1,165 @@
+"""Figure 3 reproduction: Erdős–Rényi convergence sweep.
+
+For every (n, p) cell the paper generates 10 random graphs, runs the two
+circuits plus the software solver and random baseline on each, and plots the
+best-so-far cut weight *relative to the solver's best cut* as a function of
+the number of samples, with error bars giving the SEM over the 10 graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.goemans_williamson import goemans_williamson
+from repro.algorithms.random_baseline import random_baseline
+from repro.analysis.convergence import ConvergenceCurve, sample_points_log_spaced
+from repro.analysis.statistics import mean_and_sem
+from repro.circuits.lif_gw import LIFGWCircuit
+from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+from repro.experiments.config import Figure3Config
+from repro.graphs.generators import erdos_renyi
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedStream
+
+__all__ = ["Figure3Cell", "run_figure3_cell", "run_figure3", "METHODS"]
+
+_logger = get_logger("experiments.figure3")
+
+#: Methods plotted in Figure 3, keyed as in the paper's legend.
+METHODS = ("lif_gw", "lif_tr", "solver", "random")
+
+
+@dataclass(frozen=True)
+class Figure3Cell:
+    """One panel of Figure 3: a single (n, p) graph class.
+
+    Attributes
+    ----------
+    n_vertices, probability:
+        The G(n, p) parameters of the panel.
+    sample_counts:
+        Sample counts at which the curves are evaluated.
+    curves:
+        Per-method mean relative cut weight at each sample count.
+    sems:
+        Per-method SEM (over graphs) at each sample count.
+    solver_best_weights:
+        The software solver's best cut weight on each graph (the normaliser).
+    """
+
+    n_vertices: int
+    probability: float
+    sample_counts: np.ndarray
+    curves: Dict[str, np.ndarray]
+    sems: Dict[str, np.ndarray]
+    solver_best_weights: np.ndarray
+    metadata: Dict = field(default_factory=dict)
+
+
+def _relative_running_best(weights: np.ndarray, counts: np.ndarray, reference: float) -> np.ndarray:
+    best = np.maximum.accumulate(np.asarray(weights, dtype=np.float64))
+    values = best[np.minimum(counts, best.size) - 1]
+    return values / reference if reference > 0 else np.ones_like(values)
+
+
+def _run_single_graph(task) -> Dict[str, np.ndarray]:
+    """Run all four methods on one random graph (a single sweep work item)."""
+    (n, p, config, graph_index) = task.payload
+    rng = task.generator()
+    graph_seed, gw_seed, tr_seed, solver_seed, random_seed = (
+        int(rng.integers(0, 2**31 - 1)) for _ in range(5)
+    )
+    graph = erdos_renyi(n, p, seed=graph_seed, name=f"er_n{n}_p{p:g}_{graph_index}")
+    counts = sample_points_log_spaced(config.n_samples)
+
+    solver_result = goemans_williamson(
+        graph, n_samples=config.n_solver_samples, seed=solver_seed
+    )
+    solver_best = solver_result.best_weight
+    reference = solver_best if solver_best > 0 else 1.0
+
+    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=gw_seed)
+    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=gw_seed)
+
+    tr_circuit = LIFTrevisanCircuit(graph, config=config.lif_tr)
+    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=tr_seed)
+
+    _, random_weights = random_baseline(graph, n_samples=config.n_samples, seed=random_seed)
+
+    solver_curve = _relative_running_best(
+        solver_result.sample_weights,
+        np.minimum(counts, config.n_solver_samples),
+        reference,
+    )
+    return {
+        "sample_counts": counts,
+        "lif_gw": _relative_running_best(gw_result.trajectory.weights, counts, reference),
+        "lif_tr": _relative_running_best(tr_result.trajectory.weights, counts, reference),
+        "solver": solver_curve,
+        "random": _relative_running_best(random_weights, counts, reference),
+        "solver_best": np.array([solver_best]),
+    }
+
+
+def run_figure3_cell(
+    n_vertices: int,
+    probability: float,
+    config: Optional[Figure3Config] = None,
+    parallel: Optional[ParallelConfig] = None,
+) -> Figure3Cell:
+    """Run one (n, p) panel of Figure 3."""
+    from repro.parallel.seeds import seeded_tasks
+
+    config = config or Figure3Config()
+    payloads = [
+        (n_vertices, probability, config, graph_index)
+        for graph_index in range(config.n_graphs_per_cell)
+    ]
+    # Cell-specific root seed keeps panels independent but reproducible.
+    root = None if config.seed is None else hash((config.seed, n_vertices, probability)) % (2**31)
+    tasks = seeded_tasks(payloads, root_seed=root)
+    results = parallel_map(_run_single_graph, tasks, config=parallel)
+
+    counts = results[0]["sample_counts"]
+    curves: Dict[str, np.ndarray] = {}
+    sems: Dict[str, np.ndarray] = {}
+    for method in METHODS:
+        stacked = np.vstack([r[method] for r in results])
+        means = np.empty(stacked.shape[1])
+        errors = np.empty(stacked.shape[1])
+        for j in range(stacked.shape[1]):
+            means[j], errors[j] = mean_and_sem(stacked[:, j])
+        curves[method] = means
+        sems[method] = errors
+    solver_best_weights = np.concatenate([r["solver_best"] for r in results])
+    _logger.info(
+        "Figure 3 cell G(%d, %.2f): lif_gw=%.3f lif_tr=%.3f random=%.3f (final relative)",
+        n_vertices, probability,
+        curves["lif_gw"][-1], curves["lif_tr"][-1], curves["random"][-1],
+    )
+    return Figure3Cell(
+        n_vertices=n_vertices,
+        probability=probability,
+        sample_counts=counts,
+        curves=curves,
+        sems=sems,
+        solver_best_weights=solver_best_weights,
+        metadata={"n_graphs": config.n_graphs_per_cell, "n_samples": config.n_samples},
+    )
+
+
+def run_figure3(
+    config: Optional[Figure3Config] = None,
+    parallel: Optional[ParallelConfig] = None,
+) -> List[Figure3Cell]:
+    """Run the full Figure 3 grid (all size x probability cells)."""
+    config = config or Figure3Config()
+    cells = []
+    for n in config.sizes:
+        for p in config.probabilities:
+            cells.append(run_figure3_cell(n, p, config=config, parallel=parallel))
+    return cells

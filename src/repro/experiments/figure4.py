@@ -1,0 +1,115 @@
+"""Figure 4 reproduction: convergence on the empirical (Network Repository) graphs.
+
+Each panel is a single graph (no error bars); curves are the best-so-far cut
+weight relative to the software solver's best cut, as a function of samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.goemans_williamson import goemans_williamson
+from repro.algorithms.random_baseline import random_baseline
+from repro.analysis.convergence import sample_points_log_spaced
+from repro.circuits.lif_gw import LIFGWCircuit
+from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+from repro.experiments.config import Figure4Config
+from repro.graphs.graph import Graph
+from repro.graphs.repository import list_empirical_graphs, load_empirical_graph
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedStream
+
+__all__ = ["Figure4Panel", "run_figure4_panel", "run_figure4"]
+
+_logger = get_logger("experiments.figure4")
+
+
+@dataclass(frozen=True)
+class Figure4Panel:
+    """One panel of Figure 4: one empirical graph, four methods."""
+
+    graph_name: str
+    n_vertices: int
+    n_edges: int
+    sample_counts: np.ndarray
+    curves: Dict[str, np.ndarray]
+    solver_best_weight: float
+    best_weights: Dict[str, float]
+    metadata: Dict = field(default_factory=dict)
+
+
+def _relative_running_best(weights: np.ndarray, counts: np.ndarray, reference: float) -> np.ndarray:
+    best = np.maximum.accumulate(np.asarray(weights, dtype=np.float64))
+    values = best[np.minimum(counts, best.size) - 1]
+    return values / reference if reference > 0 else np.ones_like(values)
+
+
+def run_figure4_panel(
+    graph: Graph | str,
+    config: Optional[Figure4Config] = None,
+) -> Figure4Panel:
+    """Run one Figure 4 panel on an empirical graph (by object or registry name)."""
+    config = config or Figure4Config()
+    stream = SeedStream(config.seed)
+    if isinstance(graph, str):
+        graph = load_empirical_graph(graph, seed=config.seed)
+
+    counts = sample_points_log_spaced(config.n_samples)
+
+    solver_result = goemans_williamson(
+        graph, n_samples=config.n_solver_samples, seed=stream.generator_for(0)
+    )
+    reference = solver_result.best_weight if solver_result.best_weight > 0 else 1.0
+
+    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=stream.generator_for(1))
+    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=stream.generator_for(2))
+
+    tr_circuit = LIFTrevisanCircuit(graph, config=config.lif_tr)
+    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=stream.generator_for(3))
+
+    random_best, random_weights = random_baseline(
+        graph, n_samples=config.n_samples, seed=stream.generator_for(4)
+    )
+
+    curves = {
+        "lif_gw": _relative_running_best(gw_result.trajectory.weights, counts, reference),
+        "lif_tr": _relative_running_best(tr_result.trajectory.weights, counts, reference),
+        "solver": _relative_running_best(
+            solver_result.sample_weights, np.minimum(counts, config.n_solver_samples), reference
+        ),
+        "random": _relative_running_best(random_weights, counts, reference),
+    }
+    best_weights = {
+        "lif_gw": gw_result.best_weight,
+        "lif_tr": tr_result.best_weight,
+        "solver": solver_result.best_weight,
+        "random": random_best.weight,
+    }
+    _logger.info(
+        "Figure 4 panel %s: solver=%.0f lif_gw=%.0f lif_tr=%.0f random=%.0f",
+        graph.name, best_weights["solver"], best_weights["lif_gw"],
+        best_weights["lif_tr"], best_weights["random"],
+    )
+    return Figure4Panel(
+        graph_name=graph.name,
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        sample_counts=counts,
+        curves=curves,
+        solver_best_weight=solver_result.best_weight,
+        best_weights=best_weights,
+        metadata={"n_samples": config.n_samples},
+    )
+
+
+def run_figure4(
+    graph_names: Optional[Sequence[str]] = None,
+    config: Optional[Figure4Config] = None,
+) -> List[Figure4Panel]:
+    """Run Figure 4 for the given graphs (default: all 16 Table I graphs)."""
+    config = config or Figure4Config()
+    names = list(graph_names or config.graph_names or list_empirical_graphs())
+    return [run_figure4_panel(name, config=config) for name in names]

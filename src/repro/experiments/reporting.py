@@ -1,0 +1,121 @@
+"""Report formatting: plain-text / markdown tables matching the paper's artifacts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.experiments.figure3 import Figure3Cell
+from repro.experiments.figure4 import Figure4Panel
+from repro.experiments.table1 import Table1Row
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "format_table",
+    "curves_to_rows",
+    "format_figure3_report",
+    "format_figure4_report",
+    "format_table1_report",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Floats are formatted with *float_format*; everything else with ``str``.
+    """
+    headers = [str(h) for h in headers]
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, (float, np.floating)):
+                cells.append(float_format.format(float(value)))
+            else:
+                cells.append(str(value))
+        if len(cells) != len(headers):
+            raise ValidationError(
+                f"row has {len(cells)} cells but table has {len(headers)} headers"
+            )
+        formatted_rows.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in formatted_rows)) if formatted_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for cells in formatted_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def curves_to_rows(
+    sample_counts: np.ndarray, curves: Dict[str, np.ndarray]
+) -> List[List[object]]:
+    """Convert per-method curves into table rows: one row per sample count."""
+    rows: List[List[object]] = []
+    methods = list(curves.keys())
+    for j, count in enumerate(np.asarray(sample_counts)):
+        row: List[object] = [int(count)]
+        for method in methods:
+            row.append(float(curves[method][j]))
+        rows.append(row)
+    return rows
+
+
+def format_figure3_report(cells: Sequence[Figure3Cell]) -> str:
+    """Render the Figure 3 sweep as one table per (n, p) panel."""
+    sections = []
+    for cell in cells:
+        headers = ["samples"] + list(cell.curves.keys())
+        rows = curves_to_rows(cell.sample_counts, cell.curves)
+        title = f"G(n={cell.n_vertices}, p={cell.probability:g}) — relative cut weight vs samples"
+        sections.append(title + "\n" + format_table(headers, rows))
+    return "\n\n".join(sections)
+
+
+def format_figure4_report(panels: Sequence[Figure4Panel]) -> str:
+    """Render the Figure 4 sweep as one table per empirical graph."""
+    sections = []
+    for panel in panels:
+        headers = ["samples"] + list(panel.curves.keys())
+        rows = curves_to_rows(panel.sample_counts, panel.curves)
+        title = (
+            f"{panel.graph_name} (n={panel.n_vertices}, m={panel.n_edges}) — "
+            f"relative cut weight vs samples (solver best = {panel.solver_best_weight:.0f})"
+        )
+        sections.append(title + "\n" + format_table(headers, rows))
+    return "\n\n".join(sections)
+
+
+def format_table1_report(rows: Sequence[Table1Row]) -> str:
+    """Render Table I with measured values and the paper's published values."""
+    headers = [
+        "Graph", "n", "m",
+        "LIF-GW", "LIF-TR", "Solver", "Random",
+        "paper GW", "paper TR", "paper Solver", "paper Random", "surrogate",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.graph_name,
+            row.n_vertices,
+            row.n_edges,
+            row.measured.get("lif_gw", float("nan")),
+            row.measured.get("lif_tr", float("nan")),
+            row.measured.get("solver", float("nan")),
+            row.measured.get("random", float("nan")),
+            row.paper.get("lif_gw", "-"),
+            row.paper.get("lif_tr", "-"),
+            row.paper.get("solver", "-"),
+            row.paper.get("random", "-"),
+            "yes" if row.is_surrogate else "no",
+        ])
+    return format_table(headers, table_rows, float_format="{:.0f}")

@@ -1,0 +1,77 @@
+"""Graph substrate: representations, generators, IO, and the empirical-graph registry.
+
+The circuits and algorithms in this library consume :class:`repro.graphs.Graph`
+objects, which expose the matrices the paper's two circuits need:
+
+* the adjacency matrix ``A`` (dense and sparse),
+* the degree matrix ``D`` and its inverse square root,
+* the normalized adjacency ``D^{-1/2} A D^{-1/2}``,
+* the Trevisan matrix ``I + D^{-1/2} A D^{-1/2}``,
+* the combinatorial Laplacian ``D - A``.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    erdos_renyi,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    complete_bipartite,
+    grid_graph,
+    hamming_graph,
+    johnson_graph,
+    barabasi_albert,
+    watts_strogatz,
+    configuration_model,
+    planted_partition,
+    random_regular,
+)
+from repro.graphs.io import (
+    read_edge_list,
+    write_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.graphs.repository import (
+    EmpiricalGraphSpec,
+    EMPIRICAL_GRAPHS,
+    load_empirical_graph,
+    list_empirical_graphs,
+)
+from repro.graphs.properties import (
+    degree_statistics,
+    connected_components,
+    is_connected,
+    graph_summary,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "hamming_graph",
+    "johnson_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "configuration_model",
+    "planted_partition",
+    "random_regular",
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+    "EmpiricalGraphSpec",
+    "EMPIRICAL_GRAPHS",
+    "load_empirical_graph",
+    "list_empirical_graphs",
+    "degree_statistics",
+    "connected_components",
+    "is_connected",
+    "graph_summary",
+]

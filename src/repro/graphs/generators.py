@@ -1,0 +1,375 @@
+"""Graph generators.
+
+The paper's Figure 3 uses Erdős–Rényi graphs; Table I / Figure 4 use graphs
+from the Network Repository, two of which (``hamming6-2`` and
+``johnson16-2-4``) are purely combinatorial and are constructed exactly here.
+The remaining generators (Barabási–Albert, Watts–Strogatz, configuration
+model, planted partition, random regular) provide the surrogate constructions
+used by :mod:`repro.graphs.repository` and the ablation experiments.
+
+All generators are deterministic given a seed and return :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ValidationError, check_probability
+
+__all__ = [
+    "erdos_renyi",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "hamming_graph",
+    "johnson_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "configuration_model",
+    "planted_partition",
+    "random_regular",
+]
+
+
+def _check_n(n: int, minimum: int = 0, name: str = "n") -> int:
+    n = int(n)
+    if n < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {n}")
+    return n
+
+
+def erdos_renyi(
+    n: int, p: float, seed: RandomState = None, name: Optional[str] = None
+) -> Graph:
+    """Erdős–Rényi random graph G(n, p).
+
+    Each of the ``n(n-1)/2`` possible edges is present independently with
+    probability *p*.  Edge presence is sampled vectorised over the upper
+    triangle rather than per edge.
+    """
+    n = _check_n(n)
+    p = check_probability(p)
+    rng = as_generator(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.shape[0]) < p
+    edges = [(int(u), int(v)) for u, v in zip(iu[mask], ju[mask])]
+    return Graph(n, edges, name=name or f"er_n{n}_p{p:g}")
+
+
+def complete_graph(n: int, name: Optional[str] = None) -> Graph:
+    """Complete graph K_n."""
+    n = _check_n(n)
+    edges = [(u, v) for u, v in combinations(range(n), 2)]
+    return Graph(n, edges, name=name or f"complete_{n}")
+
+
+def cycle_graph(n: int, name: Optional[str] = None) -> Graph:
+    """Cycle graph C_n (requires n >= 3)."""
+    n = _check_n(n, minimum=3)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges, name=name or f"cycle_{n}")
+
+
+def path_graph(n: int, name: Optional[str] = None) -> Graph:
+    """Path graph P_n."""
+    n = _check_n(n)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph(n, edges, name=name or f"path_{n}")
+
+
+def star_graph(n_leaves: int, name: Optional[str] = None) -> Graph:
+    """Star graph with one hub (vertex 0) and *n_leaves* leaves."""
+    n_leaves = _check_n(n_leaves, name="n_leaves")
+    edges = [(0, i + 1) for i in range(n_leaves)]
+    return Graph(n_leaves + 1, edges, name=name or f"star_{n_leaves}")
+
+
+def complete_bipartite(n_left: int, n_right: int, name: Optional[str] = None) -> Graph:
+    """Complete bipartite graph K_{n_left, n_right}.
+
+    Useful in tests because its maximum cut is exactly ``n_left * n_right``.
+    """
+    n_left = _check_n(n_left, name="n_left")
+    n_right = _check_n(n_right, name="n_right")
+    edges = [(i, n_left + j) for i in range(n_left) for j in range(n_right)]
+    return Graph(n_left + n_right, edges, name=name or f"bipartite_{n_left}x{n_right}")
+
+
+def grid_graph(rows: int, cols: int, name: Optional[str] = None) -> Graph:
+    """2-D grid (lattice) graph with 4-neighbour connectivity."""
+    rows = _check_n(rows, minimum=1, name="rows")
+    cols = _check_n(cols, minimum=1, name="cols")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges, name=name or f"grid_{rows}x{cols}")
+
+
+def hamming_graph(d: int, q: int, name: Optional[str] = None) -> Graph:
+    """Hamming graph H(d, q): vertices are length-d strings over a q-ary
+    alphabet; edges connect strings at Hamming distance exactly 1.
+
+    ``hamming6-2`` in the DIMACS / Network Repository naming is the *clique
+    complement* convention: vertices are the ``2^6 = 64`` binary strings of
+    length 6 and edges connect strings whose Hamming distance is **at least**
+    a threshold.  Use :func:`hamming_distance_graph` for that family.
+    """
+    d = _check_n(d, minimum=1, name="d")
+    q = _check_n(q, minimum=2, name="q")
+    n = q**d
+    # Enumerate vertices as base-q digit strings.
+    digits = np.zeros((n, d), dtype=np.int64)
+    for pos in range(d):
+        digits[:, pos] = (np.arange(n) // (q ** (d - pos - 1))) % q
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if np.count_nonzero(digits[u] != digits[v]) == 1:
+                edges.append((u, v))
+    return Graph(n, edges, name=name or f"hamming_{d}_{q}")
+
+
+def hamming_distance_graph(
+    d: int, min_distance: int, name: Optional[str] = None
+) -> Graph:
+    """Graph on all binary strings of length *d*, with an edge between two
+    strings whenever their Hamming distance is at least *min_distance*.
+
+    ``hamming6-2`` (DIMACS) is ``hamming_distance_graph(6, 2)``: 64 vertices,
+    1824 edges.
+    """
+    d = _check_n(d, minimum=1, name="d")
+    min_distance = _check_n(min_distance, minimum=1, name="min_distance")
+    n = 1 << d
+    codes = np.arange(n, dtype=np.uint64)
+    edges = []
+    for u in range(n):
+        xor = codes ^ codes[u]
+        dist = np.array([bin(int(x)).count("1") for x in xor])
+        for v in range(u + 1, n):
+            if dist[v] >= min_distance:
+                edges.append((u, v))
+    return Graph(n, edges, name=name or f"hamming{d}-{min_distance}")
+
+
+def johnson_graph(
+    n: int, k: int, min_intersection: int, name: Optional[str] = None
+) -> Graph:
+    """DIMACS-style Johnson graph ``johnson{n}-{k}-{d}``.
+
+    Vertices are the k-subsets of an n-element ground set; two subsets are
+    adjacent when their symmetric difference has size at least *d* (DIMACS
+    convention: ``johnson16-2-4`` connects pairs of 2-subsets of a 16-set
+    whose intersection is empty, i.e. symmetric difference 4).
+
+    Parameters
+    ----------
+    n, k:
+        Ground-set size and subset size.
+    min_intersection:
+        Minimum symmetric-difference size for adjacency (the trailing number
+        in the DIMACS name).
+    """
+    n = _check_n(n, minimum=1, name="n")
+    k = _check_n(k, minimum=1, name="k")
+    subsets = [frozenset(c) for c in combinations(range(n), k)]
+    n_vertices = len(subsets)
+    edges = []
+    for i in range(n_vertices):
+        for j in range(i + 1, n_vertices):
+            sym_diff = len(subsets[i] ^ subsets[j])
+            if sym_diff >= min_intersection:
+                edges.append((i, j))
+    return Graph(n_vertices, edges, name=name or f"johnson{n}-{k}-{min_intersection}")
+
+
+def barabasi_albert(
+    n: int, m: int, seed: RandomState = None, name: Optional[str] = None
+) -> Graph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` vertices and attaches each subsequent
+    vertex to *m* existing vertices chosen with probability proportional to
+    their current degree (without replacement).
+    """
+    n = _check_n(n, minimum=1)
+    m = _check_n(m, minimum=1, name="m")
+    if m >= n:
+        raise ValidationError(f"m must be < n, got m={m}, n={n}")
+    rng = as_generator(seed)
+    edges: list[tuple[int, int]] = []
+    # Repeated-endpoint list implements preferential attachment.
+    repeated: list[int] = []
+    for leaf in range(1, m + 1):
+        edges.append((0, leaf))
+        repeated.extend([0, leaf])
+    for new_vertex in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(repeated[rng.integers(0, len(repeated))]))
+        for t in targets:
+            edges.append((t, new_vertex))
+            repeated.extend([t, new_vertex])
+    return Graph(n, edges, name=name or f"ba_n{n}_m{m}")
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p: float,
+    seed: RandomState = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    A ring lattice where each vertex connects to its *k* nearest neighbours
+    (k must be even), with each edge rewired to a uniform random non-neighbour
+    with probability *p*.
+    """
+    n = _check_n(n, minimum=3)
+    k = _check_n(k, minimum=2, name="k")
+    if k % 2 != 0:
+        raise ValidationError(f"k must be even, got {k}")
+    if k >= n:
+        raise ValidationError(f"k must be < n, got k={k}, n={n}")
+    p = check_probability(p)
+    rng = as_generator(seed)
+    edge_set: set[tuple[int, int]] = set()
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % n
+            edge_set.add((min(i, j), max(i, j)))
+    edges = sorted(edge_set)
+    rewired: set[tuple[int, int]] = set(edges)
+    for (u, v) in edges:
+        if rng.random() < p:
+            rewired.discard((u, v))
+            # Choose a new endpoint avoiding self-loops and duplicates.
+            for _ in range(4 * n):
+                w = int(rng.integers(0, n))
+                candidate = (min(u, w), max(u, w))
+                if w != u and candidate not in rewired:
+                    rewired.add(candidate)
+                    break
+            else:
+                rewired.add((u, v))  # give up on rewiring this edge
+    return Graph(n, sorted(rewired), name=name or f"ws_n{n}_k{k}_p{p:g}")
+
+
+def configuration_model(
+    degree_sequence: Sequence[int],
+    seed: RandomState = None,
+    name: Optional[str] = None,
+    max_tries: int = 100,
+) -> Graph:
+    """Simple-graph configuration model matching a target degree sequence.
+
+    Stubs are paired uniformly at random; self-loops and multi-edges are
+    discarded, so realised degrees can be slightly below the targets for
+    heavy-tailed sequences.  The sum of degrees must be even.
+    """
+    degrees = np.asarray(degree_sequence, dtype=np.int64)
+    if degrees.ndim != 1:
+        raise ValidationError("degree_sequence must be 1-D")
+    if np.any(degrees < 0):
+        raise ValidationError("degrees must be non-negative")
+    if degrees.sum() % 2 != 0:
+        raise ValidationError("sum of degrees must be even")
+    n = degrees.shape[0]
+    if n and degrees.max() >= n:
+        raise ValidationError("every degree must be < n for a simple graph")
+    rng = as_generator(seed)
+
+    best_edges: set[tuple[int, int]] = set()
+    stubs = np.repeat(np.arange(n), degrees)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        edge_set: set[tuple[int, int]] = set()
+        for i in range(0, perm.size - 1, 2):
+            u, v = int(perm[i]), int(perm[i + 1])
+            if u == v:
+                continue
+            edge_set.add((min(u, v), max(u, v)))
+        if len(edge_set) > len(best_edges):
+            best_edges = edge_set
+        if len(edge_set) == degrees.sum() // 2:
+            break
+    return Graph(n, sorted(best_edges), name=name or f"config_n{n}")
+
+
+def planted_partition(
+    n: int,
+    p_in: float,
+    p_out: float,
+    seed: RandomState = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Two-community planted-partition graph.
+
+    Vertices split into two equal halves; within-community edges appear with
+    probability *p_in*, across-community edges with probability *p_out*.
+    With ``p_out >> p_in`` the planted bisection is (close to) the maximum
+    cut, which makes this family useful for end-to-end solver validation.
+    """
+    n = _check_n(n, minimum=2)
+    p_in = check_probability(p_in, "p_in")
+    p_out = check_probability(p_out, "p_out")
+    rng = as_generator(seed)
+    half = n // 2
+    community = np.zeros(n, dtype=np.int64)
+    community[half:] = 1
+    iu, ju = np.triu_indices(n, k=1)
+    same = community[iu] == community[ju]
+    prob = np.where(same, p_in, p_out)
+    mask = rng.random(iu.shape[0]) < prob
+    edges = [(int(u), int(v)) for u, v in zip(iu[mask], ju[mask])]
+    return Graph(n, edges, name=name or f"planted_n{n}")
+
+
+def random_regular(
+    n: int, d: int, seed: RandomState = None, name: Optional[str] = None, max_tries: int = 200
+) -> Graph:
+    """Random d-regular simple graph via repeated stub matching.
+
+    Raises ``ValidationError`` if ``n * d`` is odd or ``d >= n``; raises
+    ``RuntimeError`` if a simple d-regular matching is not found within
+    *max_tries* attempts (vanishingly unlikely for the sizes used here).
+    """
+    n = _check_n(n, minimum=1)
+    d = _check_n(d, minimum=0, name="d")
+    if d >= n:
+        raise ValidationError(f"d must be < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise ValidationError("n * d must be even")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        edge_set: set[tuple[int, int]] = set()
+        ok = True
+        for i in range(0, perm.size - 1, 2):
+            u, v = int(perm[i]), int(perm[i + 1])
+            key = (min(u, v), max(u, v))
+            if u == v or key in edge_set:
+                ok = False
+                break
+            edge_set.add(key)
+        if ok:
+            return Graph(n, sorted(edge_set), name=name or f"regular_n{n}_d{d}")
+    raise RuntimeError(
+        f"failed to build a simple {d}-regular graph on {n} vertices "
+        f"after {max_tries} attempts"
+    )

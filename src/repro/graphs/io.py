@@ -1,0 +1,159 @@
+"""Graph file IO.
+
+The Network Repository distributes graphs as MatrixMarket (``.mtx``) files or
+whitespace-separated edge lists, so both formats are supported for reading and
+writing.  Only the undirected-graph subset of each format is implemented; the
+parsers are intentionally strict and raise :class:`ValidationError` on
+malformed input rather than guessing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple, Union
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def _parse_edge_tokens(tokens: List[str], line_number: int) -> Tuple[int, int, float]:
+    if len(tokens) not in (2, 3):
+        raise ValidationError(
+            f"line {line_number}: expected 'u v [weight]', got {tokens!r}"
+        )
+    try:
+        u, v = int(tokens[0]), int(tokens[1])
+        w = float(tokens[2]) if len(tokens) == 3 else 1.0
+    except ValueError as exc:
+        raise ValidationError(f"line {line_number}: could not parse {tokens!r}") from exc
+    return u, v, w
+
+
+def read_edge_list(
+    path: PathLike,
+    one_indexed: bool = False,
+    comment_chars: str = "#%",
+    name: str | None = None,
+) -> Graph:
+    """Read an undirected graph from a whitespace-separated edge list.
+
+    Parameters
+    ----------
+    path:
+        File containing ``u v [weight]`` per line.
+    one_indexed:
+        If True, vertex labels start at 1 (Network Repository convention) and
+        are shifted down by one.
+    comment_chars:
+        Lines starting with any of these characters are skipped.
+    """
+    edges: list[tuple[int, int, float]] = []
+    max_vertex = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in comment_chars:
+                continue
+            u, v, w = _parse_edge_tokens(line.split(), line_number)
+            if one_indexed:
+                u, v = u - 1, v - 1
+            if u < 0 or v < 0:
+                raise ValidationError(
+                    f"line {line_number}: negative vertex index (check one_indexed)"
+                )
+            if u == v:
+                continue  # drop self-loops, as the Network Repository loaders do
+            max_vertex = max(max_vertex, u, v)
+            edges.append((u, v, w))
+    graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return Graph(max_vertex + 1, edges, name=graph_name)
+
+
+def write_edge_list(graph: Graph, path: PathLike, one_indexed: bool = False) -> None:
+    """Write *graph* as a ``u v weight`` edge list."""
+    offset = 1 if one_indexed else 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name}: {graph.n_vertices} vertices, {graph.n_edges} edges\n")
+        for (u, v), w in zip(graph.edges, graph.edge_weights):
+            handle.write(f"{u + offset} {v + offset} {w:g}\n")
+
+
+def read_matrix_market(path: PathLike, name: str | None = None) -> Graph:
+    """Read an undirected graph from a MatrixMarket coordinate file.
+
+    Supports the ``matrix coordinate (real|integer|pattern) symmetric`` and
+    ``general`` qualifiers.  General matrices must be structurally symmetric.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValidationError("not a MatrixMarket file (missing %%MatrixMarket header)")
+        parts = header.strip().split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise ValidationError(f"unsupported MatrixMarket header: {header.strip()!r}")
+        field, symmetry = parts[3], parts[4]
+        if field not in ("real", "integer", "pattern"):
+            raise ValidationError(f"unsupported MatrixMarket field type: {field!r}")
+        if symmetry not in ("symmetric", "general"):
+            raise ValidationError(f"unsupported MatrixMarket symmetry: {symmetry!r}")
+
+        # Skip comments, read size line.
+        size_line = None
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            size_line = line
+            break
+        if size_line is None:
+            raise ValidationError("MatrixMarket file has no size line")
+        size_tokens = size_line.split()
+        if len(size_tokens) != 3:
+            raise ValidationError(f"malformed size line: {size_line!r}")
+        n_rows, n_cols, _n_entries = (int(t) for t in size_tokens)
+        if n_rows != n_cols:
+            raise ValidationError(
+                f"adjacency matrix must be square, got {n_rows}x{n_cols}"
+            )
+
+        entries: dict[tuple[int, int], float] = {}
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            tokens = line.split()
+            u, v = int(tokens[0]) - 1, int(tokens[1]) - 1
+            w = float(tokens[2]) if (field != "pattern" and len(tokens) > 2) else 1.0
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            entries.setdefault(key, w)
+
+    edges = [(u, v, w) for (u, v), w in entries.items()]
+    graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return Graph(n_rows, edges, name=graph_name)
+
+
+def write_matrix_market(graph: Graph, path: PathLike) -> None:
+    """Write *graph* as a symmetric MatrixMarket coordinate file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        field = "real" if graph.is_weighted else "pattern"
+        handle.write(f"%%MatrixMarket matrix coordinate {field} symmetric\n")
+        handle.write(f"% {graph.name}\n")
+        handle.write(f"{graph.n_vertices} {graph.n_vertices} {graph.n_edges}\n")
+        for (u, v), w in zip(graph.edges, graph.edge_weights):
+            # MatrixMarket symmetric storage keeps the lower triangle (row >= col).
+            row, col = max(u, v) + 1, min(u, v) + 1
+            if field == "pattern":
+                handle.write(f"{row} {col}\n")
+            else:
+                handle.write(f"{row} {col} {w:g}\n")

@@ -1,0 +1,252 @@
+"""Registry of the empirical graphs used in the paper's Figure 4 and Table I.
+
+The paper evaluates on 16 graphs from the Network Repository [Rossi & Ahmed,
+2015].  This reproduction has no network access, so the registry provides:
+
+* **exact** deterministic constructions where the graph is purely
+  combinatorial (``hamming6-2`` and ``johnson16-2-4`` are DIMACS constructions
+  with a closed-form definition), and
+* **surrogate** constructions for the remaining empirical graphs: random
+  graphs from a family chosen to match the original's broad structure
+  (scale-free, small-world, quasi-random, or mesh) with the published vertex
+  and edge counts.
+
+Each :class:`EmpiricalGraphSpec` records the published ``(n, m)``, the
+surrogate family used, and the paper's Table I reference values so that
+EXPERIMENTS.md can report paper-vs-measured side by side.  The substitution is
+documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.graphs import generators
+from repro.graphs.generators import hamming_distance_graph, johnson_graph
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_generator
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "EmpiricalGraphSpec",
+    "EMPIRICAL_GRAPHS",
+    "load_empirical_graph",
+    "list_empirical_graphs",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalGraphSpec:
+    """Description of one empirical graph from the paper's evaluation.
+
+    Attributes
+    ----------
+    name:
+        Network Repository graph name, as printed in Table I.
+    n_vertices, n_edges:
+        Published size of the graph (surrogates match these).
+    kind:
+        ``"exact"`` for deterministic combinatorial constructions,
+        ``"surrogate"`` for synthetic stand-ins.
+    family:
+        Surrogate family: ``"erdos_renyi"``, ``"barabasi_albert"``,
+        ``"watts_strogatz"``, ``"grid"``, or ``"planted"``.
+    table1:
+        The paper's Table I row: maximum cut values for LIF-GW, LIF-TR, the
+        software solver, random cuts, and the reference value from
+        Mirka & Williamson (2022).
+    description:
+        One-line description of the original dataset.
+    """
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    kind: str
+    family: str
+    table1: Dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+
+def _table1(lif_gw: int, lif_tr: int, solver: int, random: int, reference: int) -> Dict[str, int]:
+    return {
+        "lif_gw": lif_gw,
+        "lif_tr": lif_tr,
+        "solver": solver,
+        "random": random,
+        "reference": reference,
+    }
+
+
+#: The 16 graphs of Table I, in the paper's row order.
+EMPIRICAL_GRAPHS: Dict[str, EmpiricalGraphSpec] = {
+    "hamming6-2": EmpiricalGraphSpec(
+        name="hamming6-2", n_vertices=64, n_edges=1824, kind="exact", family="hamming",
+        table1=_table1(992, 972, 992, 957, 992),
+        description="DIMACS Hamming graph: 6-bit strings, edges at distance >= 2",
+    ),
+    "soc-dolphins": EmpiricalGraphSpec(
+        name="soc-dolphins", n_vertices=62, n_edges=159, kind="surrogate", family="watts_strogatz",
+        table1=_table1(122, 122, 122, 107, 121),
+        description="Dolphin social network (Lusseau)",
+    ),
+    "inf-USAir97": EmpiricalGraphSpec(
+        name="inf-USAir97", n_vertices=332, n_edges=2126, kind="surrogate", family="barabasi_albert",
+        table1=_table1(107, 97, 107, 89, 107),
+        description="US airline connections 1997 (weighted in the original)",
+    ),
+    "road-chesapeake": EmpiricalGraphSpec(
+        name="road-chesapeake", n_vertices=39, n_edges=170, kind="surrogate", family="erdos_renyi",
+        table1=_table1(126, 125, 126, 120, 125),
+        description="Chesapeake bay trophic network",
+    ),
+    "johnson16-2-4": EmpiricalGraphSpec(
+        name="johnson16-2-4", n_vertices=120, n_edges=5460, kind="exact", family="johnson",
+        table1=_table1(3036, 2987, 3036, 2858, 3036),
+        description="DIMACS Johnson graph: 2-subsets of a 16-set, disjoint pairs adjacent",
+    ),
+    "p-hat700-1": EmpiricalGraphSpec(
+        name="p-hat700-1", n_vertices=700, n_edges=60999, kind="surrogate", family="erdos_renyi",
+        table1=_table1(33350, 31369, 33351, 31002, 33050),
+        description="DIMACS p-hat random graph with non-uniform edge density",
+    ),
+    "ia-infect-dublin": EmpiricalGraphSpec(
+        name="ia-infect-dublin", n_vertices=410, n_edges=2765, kind="surrogate", family="watts_strogatz",
+        table1=_table1(1751, 1600, 1750, 1494, 1664),
+        description="Face-to-face contact network (Infectious exhibition, Dublin)",
+    ),
+    "ca-netscience": EmpiricalGraphSpec(
+        name="ca-netscience", n_vertices=379, n_edges=914, kind="surrogate", family="barabasi_albert",
+        table1=_table1(635, 579, 634, 522, 611),
+        description="Coauthorship network of network scientists",
+    ),
+    "dwt-209": EmpiricalGraphSpec(
+        name="dwt-209", n_vertices=209, n_edges=767, kind="surrogate", family="grid",
+        table1=_table1(554, 534, 554, 441, 540),
+        description="Structural engineering mesh (Harwell-Boeing DWT collection)",
+    ),
+    "dwt-503": EmpiricalGraphSpec(
+        name="dwt-503", n_vertices=503, n_edges=3265, kind="surrogate", family="grid",
+        table1=_table1(1937, 1740, 1937, 1493, 1921),
+        description="Structural engineering mesh (Harwell-Boeing DWT collection)",
+    ),
+    "ia-infect-hyper": EmpiricalGraphSpec(
+        name="ia-infect-hyper", n_vertices=113, n_edges=2196, kind="surrogate", family="erdos_renyi",
+        table1=_table1(1277, 1262, 1277, 1182, 1233),
+        description="Hypertext 2009 conference contact network",
+    ),
+    "email-enron-only": EmpiricalGraphSpec(
+        name="email-enron-only", n_vertices=143, n_edges=623, kind="surrogate", family="barabasi_albert",
+        table1=_table1(425, 394, 425, 367, 413),
+        description="Enron e-mail communication core",
+    ),
+    "Erdos991": EmpiricalGraphSpec(
+        name="Erdos991", n_vertices=492, n_edges=1417, kind="surrogate", family="barabasi_albert",
+        table1=_table1(1027, 920, 1027, 791, 934),
+        description="Erdos collaboration network (1999 snapshot)",
+    ),
+    "eco-stmarks": EmpiricalGraphSpec(
+        name="eco-stmarks", n_vertices=54, n_edges=350, kind="surrogate", family="erdos_renyi",
+        table1=_table1(1765, 1764, 1765, 1747, 1190),
+        description="St. Marks seagrass ecosystem food web (weighted in the original)",
+    ),
+    "DD687": EmpiricalGraphSpec(
+        name="DD687", n_vertices=725, n_edges=2600, kind="surrogate", family="watts_strogatz",
+        table1=_table1(1786, 1625, 1783, 1411, 1680),
+        description="Protein structure graph from the D&D dataset",
+    ),
+    "ENZYMES8": EmpiricalGraphSpec(
+        name="ENZYMES8", n_vertices=88, n_edges=133, kind="surrogate", family="watts_strogatz",
+        table1=_table1(126, 124, 126, 95, 126),
+        description="Protein tertiary structure graph from the ENZYMES dataset",
+    ),
+}
+
+
+def list_empirical_graphs() -> list[str]:
+    """Return the Table I graph names in the paper's row order."""
+    return list(EMPIRICAL_GRAPHS.keys())
+
+
+def _surrogate_erdos_renyi(spec: EmpiricalGraphSpec, rng: np.random.Generator) -> Graph:
+    n = spec.n_vertices
+    p = min(1.0, spec.n_edges / (n * (n - 1) / 2.0))
+    return generators.erdos_renyi(n, p, seed=rng, name=spec.name)
+
+
+def _surrogate_barabasi_albert(spec: EmpiricalGraphSpec, rng: np.random.Generator) -> Graph:
+    n = spec.n_vertices
+    m = max(1, int(round(spec.n_edges / max(1, n))))
+    return generators.barabasi_albert(n, m, seed=rng, name=spec.name)
+
+
+def _surrogate_watts_strogatz(spec: EmpiricalGraphSpec, rng: np.random.Generator) -> Graph:
+    n = spec.n_vertices
+    k = max(2, 2 * int(round(spec.n_edges / max(1, n))))
+    k = min(k, n - 1 if (n - 1) % 2 == 0 else n - 2)
+    if k % 2 != 0:
+        k -= 1
+    k = max(2, k)
+    return generators.watts_strogatz(n, k, 0.1, seed=rng, name=spec.name)
+
+
+def _surrogate_grid(spec: EmpiricalGraphSpec, rng: np.random.Generator) -> Graph:
+    # A near-square grid with roughly the published vertex count, augmented
+    # with random chords until the published edge count is reached.
+    rows = int(np.floor(np.sqrt(spec.n_vertices)))
+    cols = int(np.ceil(spec.n_vertices / rows))
+    grid = generators.grid_graph(rows, cols)
+    keep = list(range(spec.n_vertices))
+    base = grid.subgraph(keep, name=spec.name)
+    edge_set = {tuple(e) for e in base.edges}
+    n = spec.n_vertices
+    target = spec.n_edges
+    edges = [(int(u), int(v)) for u, v in base.edges]
+    attempts = 0
+    while len(edges) < target and attempts < 50 * target:
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        attempts += 1
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edge_set:
+            continue
+        edge_set.add(key)
+        edges.append(key)
+    return Graph(n, edges, name=spec.name)
+
+
+_SURROGATE_BUILDERS: Dict[str, Callable[[EmpiricalGraphSpec, np.random.Generator], Graph]] = {
+    "erdos_renyi": _surrogate_erdos_renyi,
+    "barabasi_albert": _surrogate_barabasi_albert,
+    "watts_strogatz": _surrogate_watts_strogatz,
+    "grid": _surrogate_grid,
+}
+
+
+def load_empirical_graph(name: str, seed: Optional[int] = 0) -> Graph:
+    """Load (or synthesise) one of the paper's Table I graphs by name.
+
+    Exact graphs (``hamming6-2``, ``johnson16-2-4``) ignore *seed*; surrogate
+    graphs are deterministic given *seed* so experiments are reproducible.
+
+    Raises
+    ------
+    ValidationError
+        If *name* is not one of the Table I graphs.
+    """
+    if name not in EMPIRICAL_GRAPHS:
+        raise ValidationError(
+            f"unknown empirical graph {name!r}; known graphs: {list_empirical_graphs()}"
+        )
+    spec = EMPIRICAL_GRAPHS[name]
+    if spec.name == "hamming6-2":
+        return hamming_distance_graph(6, 2, name=spec.name)
+    if spec.name == "johnson16-2-4":
+        return johnson_graph(16, 2, 4, name=spec.name)
+    rng = as_generator(seed)
+    builder = _SURROGATE_BUILDERS[spec.family]
+    return builder(spec, rng)

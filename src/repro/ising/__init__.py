@@ -1,0 +1,36 @@
+"""Ising-model formulation of MAXCUT and annealing baselines.
+
+The paper's introduction contrasts its circuits with hardware Ising-model
+annealers (CMOS annealing chips, GPU Ising solvers), which require converting
+the problem to an Ising Hamiltonian with pairwise interactions.  This package
+provides that conversion and two classical annealing baselines so the
+comparison can be made in software:
+
+* :func:`maxcut_to_ising` / :func:`ising_to_maxcut_energy` — the standard
+  mapping (spin products on edges; the cut weight is an affine function of the
+  Ising energy),
+* :class:`SimulatedAnnealer` — single-spin-flip Metropolis annealing with a
+  geometric temperature schedule,
+* :func:`parallel_tempering` — replica exchange over a temperature ladder,
+  the technique the Ising-hardware literature uses to improve solution quality.
+"""
+
+from repro.ising.model import IsingModel, maxcut_to_ising, ising_energy, cut_weight_from_spins
+from repro.ising.annealing import (
+    AnnealingSchedule,
+    SimulatedAnnealer,
+    simulated_annealing_maxcut,
+)
+from repro.ising.tempering import parallel_tempering, TemperingResult
+
+__all__ = [
+    "IsingModel",
+    "maxcut_to_ising",
+    "ising_energy",
+    "cut_weight_from_spins",
+    "AnnealingSchedule",
+    "SimulatedAnnealer",
+    "simulated_annealing_maxcut",
+    "parallel_tempering",
+    "TemperingResult",
+]

@@ -1,0 +1,115 @@
+"""Membrane-covariance theory and estimators (paper §III.C).
+
+The central circuit motif: a population of LIF neurons integrating weighted
+binary device states has (stationary, subthreshold) membrane covariance
+
+    Cov(V_i, V_j) = (R / C) * sum_{alpha beta} W_{i alpha} W_{j beta} Cov(s_alpha, s_beta),
+
+i.e. a linear transformation of the device covariance by the weight matrix.
+With independent fair coins, ``Cov(s) = 0.25 I`` and the membrane covariance
+is proportional to the Gram matrix ``W W^T`` — exactly the quantity the
+Goemans-Williamson rounding step needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_symmetric
+
+__all__ = [
+    "covariance_from_weights",
+    "theoretical_membrane_covariance",
+    "empirical_covariance",
+    "correlation_from_covariance",
+]
+
+
+def covariance_from_weights(
+    weights: np.ndarray,
+    device_covariance: Optional[np.ndarray] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Membrane covariance implied by a device-to-neuron weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, r)`` weight matrix ``W``.
+    device_covariance:
+        ``(r, r)`` device-state covariance; defaults to the fair-coin value
+        ``0.25 I``.
+    gain:
+        The multiplicative factor ``R / C`` (or any overall scale).
+
+    Returns
+    -------
+    ``(n, n)`` symmetric PSD matrix ``gain * W Sigma_s W^T``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValidationError(f"weights must be 2-D, got shape {weights.shape}")
+    r = weights.shape[1]
+    if device_covariance is None:
+        device_covariance = 0.25 * np.eye(r)
+    device_covariance = check_symmetric(
+        np.asarray(device_covariance, dtype=np.float64), "device_covariance"
+    )
+    if device_covariance.shape != (r, r):
+        raise ValidationError(
+            f"device_covariance must have shape ({r}, {r}), got {device_covariance.shape}"
+        )
+    covariance = gain * (weights @ device_covariance @ weights.T)
+    # Symmetrise to remove floating-point asymmetry before downstream eigensolves.
+    return 0.5 * (covariance + covariance.T)
+
+
+def theoretical_membrane_covariance(
+    weights: np.ndarray,
+    resistance: float = 10.0,
+    capacitance: float = 1.0,
+    device_covariance: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Paper §III.C formula ``Cov(V) = (R/C) W Cov(s) W^T``."""
+    if resistance <= 0 or capacitance <= 0:
+        raise ValidationError("resistance and capacitance must be positive")
+    return covariance_from_weights(
+        weights, device_covariance=device_covariance, gain=resistance / capacitance
+    )
+
+
+def empirical_covariance(samples: np.ndarray, ddof: int = 1) -> np.ndarray:
+    """Empirical covariance of row-wise samples ``(n_samples, n_variables)``.
+
+    A thin wrapper around :func:`numpy.cov` that always returns a 2-D matrix
+    (including the 1-variable case) and validates the sample count.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValidationError(f"samples must be 2-D, got shape {samples.shape}")
+    if samples.shape[0] <= ddof:
+        raise ValidationError(
+            f"need more than {ddof} samples to estimate covariance, got {samples.shape[0]}"
+        )
+    covariance = np.cov(samples, rowvar=False, ddof=ddof)
+    return np.atleast_2d(covariance)
+
+
+def correlation_from_covariance(covariance: np.ndarray) -> np.ndarray:
+    """Convert a covariance matrix to a correlation matrix.
+
+    Zero-variance entries produce zero correlation rows/columns (rather than
+    NaN), with ones kept on the diagonal.
+    """
+    covariance = check_symmetric(np.asarray(covariance, dtype=np.float64), "covariance")
+    std = np.sqrt(np.clip(np.diag(covariance), 0.0, None))
+    n = covariance.shape[0]
+    correlation = np.zeros_like(covariance)
+    nonzero = std > 0
+    if np.any(nonzero):
+        outer = np.outer(std[nonzero], std[nonzero])
+        correlation[np.ix_(nonzero, nonzero)] = covariance[np.ix_(nonzero, nonzero)] / outer
+    np.fill_diagonal(correlation, 1.0)
+    return correlation

@@ -1,0 +1,55 @@
+"""Mapping neural activity to MAXCUT assignments (paper §IV.A).
+
+The LIF-GW circuit reads out a cut per time step: *neurons that spike together
+on a given timestep map to vertices on one side of the cut, and neurons that
+are silent map to the other side*.  An equivalent readout thresholds the
+membrane potential at zero (the Bertsimas-Ye Gaussian rounding); both are
+provided so the circuits and tests can cross-validate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["spikes_to_assignments", "membrane_sign_assignments"]
+
+
+def spikes_to_assignments(spikes: np.ndarray) -> np.ndarray:
+    """Map a boolean spike raster to ±1 cut assignments.
+
+    Parameters
+    ----------
+    spikes:
+        ``(n_steps, n_neurons)`` boolean array; entry ``[t, i]`` is True when
+        neuron i spiked at step t.
+
+    Returns
+    -------
+    ``(n_steps, n_neurons)`` int8 array with +1 for spiking neurons and -1
+    for silent neurons.
+    """
+    spikes = np.asarray(spikes)
+    if spikes.ndim != 2:
+        raise ValidationError(f"spikes must be 2-D, got shape {spikes.shape}")
+    return np.where(spikes.astype(bool), 1, -1).astype(np.int8)
+
+
+def membrane_sign_assignments(potentials: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Map membrane potentials to ±1 assignments by thresholding.
+
+    Parameters
+    ----------
+    potentials:
+        ``(n_steps, n_neurons)`` membrane trajectory.
+    threshold:
+        Rounding threshold; the default 0 corresponds to the Gaussian rounding
+        of centred membranes.
+    """
+    potentials = np.asarray(potentials, dtype=np.float64)
+    if potentials.ndim != 2:
+        raise ValidationError(f"potentials must be 2-D, got shape {potentials.shape}")
+    if not np.isfinite(threshold):
+        raise ValidationError("threshold must be finite")
+    return np.where(potentials > threshold, 1, -1).astype(np.int8)

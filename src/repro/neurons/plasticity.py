@@ -1,0 +1,195 @@
+"""Synaptic plasticity rules (paper §III.D).
+
+Three rules are implemented:
+
+* plain **Hebbian** updates ``dw = eta * y * x`` (unstable; included for the
+  comparison in the paper's exposition),
+* **Oja's rule** ``dw = eta * y * (x - y w)``, which converges to the
+  principal (largest-eigenvalue) eigenvector of the input covariance, and
+* **Oja's anti-Hebbian / minor-component rule**
+  ``dw = eta * ( -y x + (y^2 + 1 - w^T w) w )``, which converges to the
+  eigenvector of the *smallest* eigenvalue — the rule that drives the
+  LIF-Trevisan circuit.
+
+Each rule is provided both as a pure update function (for property tests) and
+as a small stateful learner class used by the circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "hebbian_update",
+    "oja_update",
+    "anti_hebbian_oja_update",
+    "OjaPrincipalComponent",
+    "AntiHebbianMinorComponent",
+]
+
+
+def _check_pair(w: np.ndarray, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    w = np.asarray(w, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if w.ndim != 1 or x.ndim != 1 or w.shape != x.shape:
+        raise ValidationError(
+            f"w and x must be 1-D arrays of equal length, got {w.shape} and {x.shape}"
+        )
+    return w, x
+
+
+def hebbian_update(w: np.ndarray, x: np.ndarray, learning_rate: float = 0.01) -> np.ndarray:
+    """Plain Hebbian update ``w + eta * y * x`` with ``y = w . x`` (unstable)."""
+    w, x = _check_pair(w, x)
+    check_positive(learning_rate, "learning_rate")
+    y = float(w @ x)
+    return w + learning_rate * y * x
+
+
+def oja_update(w: np.ndarray, x: np.ndarray, learning_rate: float = 0.01) -> np.ndarray:
+    """Oja principal-component update ``w + eta * y * (x - y w)``."""
+    w, x = _check_pair(w, x)
+    check_positive(learning_rate, "learning_rate")
+    y = float(w @ x)
+    return w + learning_rate * y * (x - y * w)
+
+
+def anti_hebbian_oja_update(
+    w: np.ndarray, x: np.ndarray, learning_rate: float = 0.01
+) -> np.ndarray:
+    """Oja minor-component (anti-Hebbian) update (paper §III.D).
+
+    ``dw = eta * ( -y x + (y^2 + 1 - w^T w) w )`` with ``y = w . x``.
+    The ``(1 - w^T w)`` term stabilises the weight norm near 1 while the
+    ``-y x`` term pushes *w* away from high-variance directions, so the fixed
+    point is the minimum-eigenvalue eigenvector of ``Cov(x)``.
+    """
+    w, x = _check_pair(w, x)
+    check_positive(learning_rate, "learning_rate")
+    y = float(w @ x)
+    return w + learning_rate * (-y * x + (y * y + 1.0 - float(w @ w)) * w)
+
+
+@dataclass
+class OjaPrincipalComponent:
+    """Stateful Oja learner converging to the principal eigenvector of its input."""
+
+    n_inputs: int
+    learning_rate: float = 0.01
+    seed: RandomState = None
+    weights: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValidationError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        check_positive(self.learning_rate, "learning_rate")
+        rng = as_generator(self.seed)
+        w = rng.standard_normal(self.n_inputs)
+        self.weights = w / np.linalg.norm(w)
+
+    def step(self, x: np.ndarray, learning_rate: Optional[float] = None) -> float:
+        """Apply one Oja update for input *x*; returns the output ``y = w . x``."""
+        eta = self.learning_rate if learning_rate is None else learning_rate
+        y = float(self.weights @ np.asarray(x, dtype=np.float64))
+        self.weights = oja_update(self.weights, x, eta)
+        return y
+
+    def train(self, inputs: np.ndarray, learning_rate: Optional[float] = None) -> np.ndarray:
+        """Apply Oja updates over the rows of *inputs*; returns the outputs."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
+            raise ValidationError(
+                f"inputs must have shape (n_steps, {self.n_inputs}), got {inputs.shape}"
+            )
+        outputs = np.empty(inputs.shape[0])
+        for t in range(inputs.shape[0]):
+            outputs[t] = self.step(inputs[t], learning_rate)
+        return outputs
+
+
+@dataclass
+class AntiHebbianMinorComponent:
+    """Stateful anti-Hebbian Oja learner converging to the minor eigenvector.
+
+    This is the learning element of the LIF-Trevisan circuit: the input ``x``
+    is the vector of LIF membrane potentials, and the converged weight vector
+    is the minimum eigenvector of their covariance.  ``sign(weights)`` is the
+    circuit's MAXCUT solution.
+
+    Parameters
+    ----------
+    n_inputs:
+        Input dimension (one per LIF neuron / graph vertex).
+    learning_rate:
+        Base learning rate ``eta``.
+    learning_rate_decay:
+        Optional multiplicative decay applied as ``eta / (1 + decay * t)``;
+        0 disables the schedule.
+    normalize_inputs:
+        If True, each input vector is scaled to unit RMS before the update,
+        which makes the effective learning rate independent of the membrane
+        variance scale (and hence of R/C and the weight magnitudes).
+    """
+
+    n_inputs: int
+    learning_rate: float = 0.01
+    learning_rate_decay: float = 0.0
+    normalize_inputs: bool = True
+    seed: RandomState = None
+    weights: np.ndarray = field(init=False)
+    n_updates: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValidationError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        check_positive(self.learning_rate, "learning_rate")
+        if self.learning_rate_decay < 0:
+            raise ValidationError("learning_rate_decay must be non-negative")
+        rng = as_generator(self.seed)
+        w = rng.standard_normal(self.n_inputs)
+        self.weights = w / np.linalg.norm(w)
+
+    def current_learning_rate(self) -> float:
+        """Learning rate after the decay schedule at the current update count."""
+        return self.learning_rate / (1.0 + self.learning_rate_decay * self.n_updates)
+
+    def step(self, x: np.ndarray) -> float:
+        """Apply one anti-Hebbian update for input *x*; returns ``y = w . x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.normalize_inputs:
+            rms = float(np.sqrt(np.mean(x * x)))
+            if rms > 1e-12:
+                x = x / rms
+        eta = self.current_learning_rate()
+        y = float(self.weights @ x)
+        self.weights = anti_hebbian_oja_update(self.weights, x, eta)
+        # Guard against numerical blow-up: the rule is stable for small eta,
+        # but a hard renormalisation above norm 10 keeps pathological settings
+        # (huge eta) from overflowing without affecting normal operation.
+        norm = float(np.linalg.norm(self.weights))
+        if norm > 10.0:
+            self.weights /= norm
+        self.n_updates += 1
+        return y
+
+    def train(self, inputs: np.ndarray) -> np.ndarray:
+        """Apply anti-Hebbian updates over the rows of *inputs*; returns outputs."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
+            raise ValidationError(
+                f"inputs must have shape (n_steps, {self.n_inputs}), got {inputs.shape}"
+            )
+        outputs = np.empty(inputs.shape[0])
+        for t in range(inputs.shape[0]):
+            outputs[t] = self.step(inputs[t])
+        return outputs
+
+    def sign_assignment(self) -> np.ndarray:
+        """±1 MAXCUT assignment from the sign of the weight vector (zeros map to -1)."""
+        return np.where(self.weights > 0.0, 1, -1).astype(np.int8)

@@ -1,0 +1,70 @@
+"""Work-partitioning utilities for sweeps and batched sampling."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["chunk_indices", "partition_work", "balance_by_cost"]
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_items)`` into contiguous ``(start, stop)`` chunks.
+
+    The final chunk may be shorter.  ``chunk_indices(10, 4)`` returns
+    ``[(0, 4), (4, 8), (8, 10)]``.
+    """
+    if n_items < 0:
+        raise ValidationError(f"n_items must be non-negative, got {n_items}")
+    if chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(start + chunk_size, n_items)) for start in range(0, n_items, chunk_size)]
+
+
+def partition_work(n_items: int, n_partitions: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_items)`` into *n_partitions* nearly equal contiguous ranges.
+
+    Sizes differ by at most one; empty partitions are returned as zero-length
+    ranges so the output always has exactly *n_partitions* entries.
+    """
+    if n_items < 0:
+        raise ValidationError(f"n_items must be non-negative, got {n_items}")
+    if n_partitions < 1:
+        raise ValidationError(f"n_partitions must be >= 1, got {n_partitions}")
+    base = n_items // n_partitions
+    remainder = n_items % n_partitions
+    partitions: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_partitions):
+        size = base + (1 if i < remainder else 0)
+        partitions.append((start, start + size))
+        start += size
+    return partitions
+
+
+def balance_by_cost(costs: Sequence[float], n_bins: int) -> List[List[int]]:
+    """Assign items to *n_bins* bins balancing total cost (greedy LPT heuristic).
+
+    Items are sorted by decreasing cost and each is placed into the currently
+    lightest bin — the classical longest-processing-time rule, within 4/3 of
+    the optimal makespan.  Returns the item indices per bin.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ValidationError("costs must be 1-D")
+    if np.any(costs < 0):
+        raise ValidationError("costs must be non-negative")
+    if n_bins < 1:
+        raise ValidationError(f"n_bins must be >= 1, got {n_bins}")
+    bins: List[List[int]] = [[] for _ in range(n_bins)]
+    loads = np.zeros(n_bins)
+    # Stable sort keeps deterministic assignment among equal-cost items.
+    order = np.argsort(-costs, kind="stable")
+    for item in order:
+        lightest = int(np.argmin(loads))
+        bins[lightest].append(int(item))
+        loads[lightest] += costs[item]
+    return bins

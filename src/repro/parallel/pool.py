@@ -1,0 +1,85 @@
+"""Process-pool map with serial fallback and deterministic ordering."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+__all__ = ["ParallelConfig", "parallel_map"]
+
+_logger = get_logger("parallel")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution configuration for :func:`parallel_map`.
+
+    Attributes
+    ----------
+    n_workers:
+        Number of worker processes.  ``0`` or ``1`` selects serial in-process
+        execution; ``None`` uses ``os.cpu_count()``.
+    chunk_size:
+        Number of items handed to a worker at a time (process mode only).
+    serial_threshold:
+        Work lists shorter than this run serially even when workers are
+        requested, because process start-up would dominate.
+    """
+
+    n_workers: Optional[int] = None
+    chunk_size: int = 1
+    serial_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_workers is not None and self.n_workers < 0:
+            raise ValidationError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.serial_threshold < 0:
+            raise ValidationError(
+                f"serial_threshold must be >= 0, got {self.serial_threshold}"
+            )
+
+    def resolved_workers(self) -> int:
+        """Number of worker processes after resolving the ``None`` default."""
+        if self.n_workers is None:
+            return max(1, os.cpu_count() or 1)
+        return self.n_workers
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    config: Optional[ParallelConfig] = None,
+) -> List[R]:
+    """Apply *fn* to every item, in order, optionally across processes.
+
+    Results are always returned in input order regardless of completion
+    order.  *fn* and the items must be picklable when process execution is
+    selected; the serial path has no such requirement.
+
+    Notes
+    -----
+    Exceptions raised by *fn* propagate to the caller (the first failing item
+    in input order for the serial path; whichever the executor surfaces first
+    for the process path).
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    n_workers = config.resolved_workers()
+
+    if n_workers <= 1 or len(items) < config.serial_threshold:
+        return [fn(item) for item in items]
+
+    _logger.debug("parallel_map: %d items across %d workers", len(items), n_workers)
+    with ProcessPoolExecutor(max_workers=n_workers) as executor:
+        results = list(executor.map(fn, items, chunksize=config.chunk_size))
+    return results

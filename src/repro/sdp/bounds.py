@@ -1,0 +1,66 @@
+"""Upper bounds on the maximum cut, used for approximation-ratio reporting.
+
+Because OPT(G) is unknown for most evaluation graphs, experiment reports use
+an upper bound as the denominator where an exact value is unavailable:
+
+* ``trivial_upper_bound`` — total edge weight (every edge cut).
+* ``spectral_upper_bound`` — the eigenvalue bound
+  ``m/2 + (n/4) * lambda_max(L)`` truncated at the trivial bound.
+* ``sdp_upper_bound`` — the SDP objective value, which upper-bounds OPT when
+  the Burer-Monteiro solve reaches the global optimum of the relaxation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.graph import Graph
+from repro.sdp.burer_monteiro import SDPResult, solve_maxcut_sdp
+from repro.utils.rng import RandomState
+
+__all__ = ["trivial_upper_bound", "spectral_upper_bound", "sdp_upper_bound"]
+
+
+def trivial_upper_bound(graph: Graph) -> float:
+    """Total edge weight — an upper bound attained exactly by bipartite graphs."""
+    return graph.total_weight
+
+
+def spectral_upper_bound(graph: Graph) -> float:
+    """Eigenvalue bound ``W(E)/2 + (n/4) * lambda_max(L)``, capped at the trivial bound.
+
+    This is the classical bound of Mohar & Poljak; ``lambda_max`` is the
+    largest eigenvalue of the combinatorial Laplacian.
+    """
+    n = graph.n_vertices
+    if n == 0 or graph.n_edges == 0:
+        return 0.0
+    laplacian = sp.csgraph.laplacian(graph.adjacency_sparse())
+    if n <= 3:
+        lam_max = float(np.linalg.eigvalsh(laplacian.toarray()).max())
+    else:
+        lam_max = float(
+            spla.eigsh(laplacian.asfptype(), k=1, which="LA", return_eigenvectors=False)[0]
+        )
+    bound = graph.total_weight / 2.0 + n * lam_max / 4.0
+    return float(min(bound, trivial_upper_bound(graph)))
+
+
+def sdp_upper_bound(
+    graph: Graph, rank: int | None = None, seed: RandomState = None, **solver_kwargs
+) -> float:
+    """SDP objective value as an upper bound estimate on MAXCUT.
+
+    A generously large rank (``ceil(sqrt(2n)) + 1``) is used by default so the
+    Burer-Monteiro landscape is benign and the value is a true bound up to
+    solver tolerance.
+    """
+    n = graph.n_vertices
+    if n == 0 or graph.n_edges == 0:
+        return 0.0
+    if rank is None:
+        rank = int(np.ceil(np.sqrt(2.0 * n))) + 1
+    result: SDPResult = solve_maxcut_sdp(graph, rank=rank, seed=seed, **solver_kwargs)
+    return float(min(result.objective, trivial_upper_bound(graph)))

@@ -1,0 +1,54 @@
+"""Logging configuration for the library.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that downstream applications decide
+where log records go.  ``configure_logging`` is an opt-in convenience for the
+example scripts and benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+logging.getLogger(_LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger in the library's namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix appended to ``"repro"``.  ``get_logger("sdp")`` returns
+        the ``repro.sdp`` logger; ``None`` returns the library root logger.
+    """
+    if name is None:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the library logger (for scripts/benchmarks).
+
+    Calling this twice replaces the previously attached handler rather than
+    duplicating output.
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

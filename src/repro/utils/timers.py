@@ -1,0 +1,88 @@
+"""Lightweight timing utilities for benchmarks and experiment bookkeeping."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A ``Timer`` can be started/stopped repeatedly; ``elapsed`` accumulates the
+    total time across all completed intervals.  It is also usable as a context
+    manager.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    n_intervals: int = 0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer is not running")
+        interval = time.perf_counter() - self._start
+        self.elapsed += interval
+        self.n_intervals += 1
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.n_intervals = 0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def mean_interval(self) -> float:
+        """Mean duration of completed intervals (0.0 if none completed)."""
+        if self.n_intervals == 0:
+            return 0.0
+        return self.elapsed / self.n_intervals
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(store: Dict[str, float], key: str) -> Iterator[None]:
+    """Context manager that records elapsed seconds into ``store[key]``.
+
+    Repeated uses of the same key accumulate, which is convenient when timing
+    a phase that occurs inside a loop.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)
+
+
+def time_call(fn: Callable[[], object]) -> tuple[object, float]:
+    """Call *fn* with no arguments and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

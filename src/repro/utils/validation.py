@@ -1,0 +1,117 @@
+"""Validation helpers used at public API boundaries.
+
+All validation raises :class:`ValidationError` (a ``ValueError`` subclass) so
+callers can distinguish argument errors from internal numerical failures.
+The checks are written to be cheap: they never copy large arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_square_matrix",
+    "check_symmetric",
+    "check_vector_length",
+    "check_spin_vector",
+    "check_binary_vector",
+    "check_finite",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public API argument fails validation."""
+
+
+def check_probability(value: float, name: str = "p") -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate that *value* is finite and strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate that *value* is finite and non-negative."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValidationError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Validate that every entry of *array* is finite."""
+    array = np.asarray(array)
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return array
+
+
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that *matrix* is a 2-D square array and return it as ndarray."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(
+            f"{name} must be a square 2-D array, got shape {matrix.shape}"
+        )
+    return matrix
+
+
+def check_symmetric(
+    matrix: np.ndarray, name: str = "matrix", atol: float = 1e-8
+) -> np.ndarray:
+    """Validate that *matrix* is square and symmetric within *atol*."""
+    matrix = check_square_matrix(matrix, name)
+    if matrix.size and not np.allclose(matrix, matrix.T, atol=atol):
+        raise ValidationError(f"{name} must be symmetric (|A - A.T| <= {atol})")
+    return matrix
+
+
+def check_vector_length(
+    vector: np.ndarray, length: Optional[int] = None, name: str = "vector"
+) -> np.ndarray:
+    """Validate that *vector* is 1-D (and optionally of the given length)."""
+    vector = np.asarray(vector)
+    if vector.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {vector.shape}")
+    if length is not None and vector.shape[0] != length:
+        raise ValidationError(
+            f"{name} must have length {length}, got {vector.shape[0]}"
+        )
+    return vector
+
+
+def check_spin_vector(
+    vector: np.ndarray, length: Optional[int] = None, name: str = "assignment"
+) -> np.ndarray:
+    """Validate a ±1 spin assignment vector and return it as an int8 array."""
+    vector = check_vector_length(vector, length, name)
+    values = np.unique(vector)
+    if not np.all(np.isin(values, (-1, 1))):
+        raise ValidationError(f"{name} must contain only -1/+1 entries, got {values}")
+    return vector.astype(np.int8, copy=False)
+
+
+def check_binary_vector(
+    vector: np.ndarray, length: Optional[int] = None, name: str = "bits"
+) -> np.ndarray:
+    """Validate a 0/1 vector and return it as an int8 array."""
+    vector = check_vector_length(vector, length, name)
+    values = np.unique(vector)
+    if not np.all(np.isin(values, (0, 1))):
+        raise ValidationError(f"{name} must contain only 0/1 entries, got {values}")
+    return vector.astype(np.int8, copy=False)

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide small, fast graphs with known structure (and, where
+feasible, known maximum cuts) so the approximation algorithms and circuits
+can be validated against ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """K3: maximum cut is 2."""
+    return complete_graph(3, name="triangle")
+
+
+@pytest.fixture
+def square_cycle():
+    """C4 (bipartite): maximum cut is 4."""
+    return cycle_graph(4, name="c4")
+
+
+@pytest.fixture
+def five_cycle():
+    """C5 (odd cycle): maximum cut is 4."""
+    return cycle_graph(5, name="c5")
+
+
+@pytest.fixture
+def small_bipartite():
+    """K_{3,4}: maximum cut is 12 (all edges)."""
+    return complete_bipartite(3, 4, name="k34")
+
+
+@pytest.fixture
+def small_er_graph():
+    """A fixed 16-vertex Erdős–Rényi graph, small enough for exact MAXCUT."""
+    return erdos_renyi(16, 0.4, seed=777, name="er16")
+
+
+@pytest.fixture
+def medium_er_graph():
+    """A fixed 40-vertex Erdős–Rényi graph for circuit-level tests."""
+    return erdos_renyi(40, 0.25, seed=2024, name="er40")
+
+
+@pytest.fixture
+def weighted_graph():
+    """A small weighted graph with non-uniform weights."""
+    edges = [(0, 1, 2.0), (1, 2, 0.5), (2, 3, 3.0), (0, 3, 1.0), (0, 2, 1.5)]
+    return Graph(4, edges, name="weighted4")
+
+
+@pytest.fixture
+def path_of_three():
+    """P3: 3 vertices, 2 edges, maximum cut 2."""
+    return path_graph(3, name="p3")
+
+
+@pytest.fixture
+def empty_graph():
+    """Graph with vertices but no edges."""
+    return Graph(5, [], name="empty5")

@@ -1,0 +1,78 @@
+"""Tests for the Trevisan/random baselines and the solver registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.random_baseline import random_baseline
+from repro.algorithms.registry import SOLVERS, get_solver, list_solvers
+from repro.algorithms.trevisan import trevisan_spectral
+from repro.cuts.exact import exact_maxcut_value
+from repro.graphs.generators import erdos_renyi
+from repro.utils.validation import ValidationError
+
+
+class TestTrevisanSpectralBaseline:
+    def test_returns_cut(self, small_er_graph):
+        cut = trevisan_spectral(small_er_graph)
+        assert cut.n_vertices == small_er_graph.n_vertices
+
+    def test_sweep_at_least_simple(self, medium_er_graph):
+        simple = trevisan_spectral(medium_er_graph, sweep=False).weight
+        sweep = trevisan_spectral(medium_er_graph, sweep=True).weight
+        assert sweep >= simple - 1e-9
+
+    def test_below_optimum(self, small_er_graph):
+        assert trevisan_spectral(small_er_graph).weight <= exact_maxcut_value(small_er_graph)
+
+
+class TestRandomBaseline:
+    def test_shapes(self, small_er_graph):
+        best, weights = random_baseline(small_er_graph, n_samples=32, seed=0)
+        assert weights.shape == (32,)
+        assert best.weight == pytest.approx(weights.max())
+
+    def test_requires_samples(self, triangle):
+        with pytest.raises(ValidationError):
+            random_baseline(triangle, n_samples=0)
+
+    def test_reproducible(self, small_er_graph):
+        a = random_baseline(small_er_graph, 16, seed=1)[1]
+        b = random_baseline(small_er_graph, 16, seed=1)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRegistry:
+    def test_expected_solvers_registered(self):
+        names = list_solvers()
+        for expected in (
+            "lif_gw", "lif_tr", "solver", "trevisan", "random",
+            "annealing", "tempering", "local_search",
+        ):
+            assert expected in names
+
+    @pytest.mark.parametrize("name", ["annealing", "tempering", "local_search"])
+    def test_baseline_solvers_run_and_respect_bounds(self, name):
+        graph = erdos_renyi(16, 0.4, seed=6)
+        cut = get_solver(name)(graph, n_samples=32, seed=7)
+        assert 0 <= cut.weight <= graph.total_weight
+        # these heuristics are all at least as good as half the edges on average
+        assert cut.weight >= 0.45 * graph.total_weight
+
+    def test_get_solver_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            get_solver("quantum_annealer")
+
+    @pytest.mark.parametrize("name", ["solver", "trevisan", "random"])
+    def test_classical_solvers_run(self, name):
+        graph = erdos_renyi(16, 0.4, seed=2)
+        cut = get_solver(name)(graph, n_samples=32, seed=3)
+        assert 0 <= cut.weight <= graph.total_weight
+
+    @pytest.mark.parametrize("name", ["lif_gw", "lif_tr"])
+    def test_circuit_solvers_run(self, name):
+        graph = erdos_renyi(16, 0.4, seed=4)
+        cut = get_solver(name)(graph, n_samples=32, seed=5)
+        assert 0 <= cut.weight <= graph.total_weight
+
+    def test_solvers_dict_is_callable_map(self):
+        assert all(callable(fn) for fn in SOLVERS.values())

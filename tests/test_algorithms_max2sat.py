@@ -1,0 +1,122 @@
+"""Tests for the MAX2SAT extension."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.max2sat import (
+    Clause,
+    Max2SatInstance,
+    max2sat_gw,
+    random_max2sat_instance,
+    satisfied_clauses,
+)
+from repro.utils.validation import ValidationError
+
+
+def brute_force_max2sat(instance: Max2SatInstance) -> float:
+    best = 0.0
+    for bits in itertools.product([False, True], repeat=instance.n_variables):
+        best = max(best, satisfied_clauses(instance, np.array(bits)))
+    return best
+
+
+class TestClause:
+    def test_variables(self):
+        clause = Clause(3, -1)
+        assert clause.variables() == (2, 0)
+
+    def test_unit_clause(self):
+        assert Clause(2).variables() == (1,)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValidationError):
+            Clause(0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            Clause(1, 2, weight=-1.0)
+
+
+class TestInstance:
+    def test_counts(self):
+        instance = Max2SatInstance(3, (Clause(1, 2), Clause(-1, 3)))
+        assert instance.n_clauses == 2
+        assert instance.total_weight == 2.0
+
+    def test_variable_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Max2SatInstance(2, (Clause(1, 3),))
+
+    def test_needs_variables(self):
+        with pytest.raises(ValidationError):
+            Max2SatInstance(0, ())
+
+
+class TestSatisfiedClauses:
+    def test_simple(self):
+        instance = Max2SatInstance(2, (Clause(1, 2), Clause(-1, -2)))
+        assert satisfied_clauses(instance, np.array([True, False])) == 2.0
+        assert satisfied_clauses(instance, np.array([True, True])) == 1.0
+
+    def test_unit_clause(self):
+        instance = Max2SatInstance(1, (Clause(-1),))
+        assert satisfied_clauses(instance, np.array([False])) == 1.0
+        assert satisfied_clauses(instance, np.array([True])) == 0.0
+
+    def test_weighted(self):
+        instance = Max2SatInstance(2, (Clause(1, 2, weight=3.0),))
+        assert satisfied_clauses(instance, np.array([False, True])) == 3.0
+
+    def test_wrong_shape_raises(self):
+        instance = Max2SatInstance(2, (Clause(1, 2),))
+        with pytest.raises(ValidationError):
+            satisfied_clauses(instance, np.array([True]))
+
+
+class TestRandomInstance:
+    def test_shape(self):
+        instance = random_max2sat_instance(10, 30, seed=0)
+        assert instance.n_variables == 10
+        assert instance.n_clauses == 30
+
+    def test_distinct_variables_per_clause(self):
+        instance = random_max2sat_instance(5, 40, seed=1)
+        for clause in instance.clauses:
+            assert abs(clause.literal1) != abs(clause.literal2)
+
+    def test_reproducible(self):
+        a = random_max2sat_instance(6, 12, seed=2)
+        b = random_max2sat_instance(6, 12, seed=2)
+        assert a.clauses == b.clauses
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            random_max2sat_instance(1, 5)
+        with pytest.raises(ValidationError):
+            random_max2sat_instance(4, 0)
+
+
+class TestMax2SatGW:
+    def test_value_consistent(self):
+        instance = random_max2sat_instance(8, 20, seed=3)
+        result = max2sat_gw(instance, n_samples=64, seed=4)
+        assert result.value == pytest.approx(satisfied_clauses(instance, result.assignment))
+
+    def test_approximation_quality(self):
+        for seed in (5, 6):
+            instance = random_max2sat_instance(7, 18, seed=seed)
+            opt = brute_force_max2sat(instance)
+            result = max2sat_gw(instance, n_samples=200, seed=seed)
+            assert result.value >= 0.8 * opt
+
+    def test_trivially_satisfiable(self):
+        instance = Max2SatInstance(2, (Clause(1, 2), Clause(1, -2)))
+        result = max2sat_gw(instance, n_samples=64, seed=7)
+        assert result.value == 2.0
+
+    def test_requires_samples(self):
+        instance = random_max2sat_instance(4, 6, seed=8)
+        with pytest.raises(ValidationError):
+            max2sat_gw(instance, n_samples=0)

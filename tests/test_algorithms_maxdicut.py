@@ -1,0 +1,112 @@
+"""Tests for the MAXDICUT extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.maxdicut import DirectedGraph, dicut_value, maxdicut_gw
+from repro.utils.validation import ValidationError
+
+
+def brute_force_dicut(graph: DirectedGraph) -> float:
+    best = 0.0
+    n = graph.n_vertices
+    for mask in range(1 << n):
+        indicator = np.array([(mask >> i) & 1 for i in range(n)], dtype=np.int8)
+        best = max(best, dicut_value(graph, indicator))
+    return best
+
+
+class TestDirectedGraph:
+    def test_basic(self):
+        g = DirectedGraph(3, [(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_arcs == 2
+        assert g.total_weight == 2.0
+
+    def test_duplicate_arcs_summed(self):
+        g = DirectedGraph(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert g.n_arcs == 1
+        assert g.total_weight == 3.0
+
+    def test_opposite_arcs_distinct(self):
+        g = DirectedGraph(2, [(0, 1), (1, 0)])
+        assert g.n_arcs == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            DirectedGraph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            DirectedGraph(2, [(0, 3)])
+
+
+class TestDicutValue:
+    def test_simple(self):
+        g = DirectedGraph(2, [(0, 1)])
+        assert dicut_value(g, np.array([1, 0])) == 1.0
+        assert dicut_value(g, np.array([0, 1])) == 0.0
+        assert dicut_value(g, np.array([1, 1])) == 0.0
+
+    def test_weighted(self):
+        g = DirectedGraph(3, [(0, 1, 2.0), (2, 1, 3.0), (1, 0, 1.0)])
+        assert dicut_value(g, np.array([1, 0, 1])) == 5.0
+
+    def test_wrong_shape_raises(self):
+        g = DirectedGraph(2, [(0, 1)])
+        with pytest.raises(ValidationError):
+            dicut_value(g, np.array([1]))
+
+    def test_non_binary_raises(self):
+        g = DirectedGraph(2, [(0, 1)])
+        with pytest.raises(ValidationError):
+            dicut_value(g, np.array([1, 2]))
+
+    def test_no_arcs(self):
+        g = DirectedGraph(3)
+        assert dicut_value(g, np.zeros(3, dtype=int)) == 0.0
+
+
+class TestMaxDicutGW:
+    def _random_digraph(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        arcs = [
+            (i, j)
+            for i in range(n)
+            for j in range(n)
+            if i != j and rng.random() < p
+        ]
+        return DirectedGraph(n, arcs)
+
+    def test_value_consistent_with_indicator(self):
+        g = self._random_digraph(10, 0.3, seed=0)
+        result = maxdicut_gw(g, n_samples=64, seed=1)
+        assert result.value == pytest.approx(dicut_value(g, result.in_set))
+
+    def test_approximation_quality_small_instances(self):
+        for seed in (2, 3):
+            g = self._random_digraph(8, 0.35, seed=seed)
+            if g.n_arcs == 0:
+                continue
+            opt = brute_force_dicut(g)
+            result = maxdicut_gw(g, n_samples=200, seed=seed)
+            # GW-style guarantee is 0.796; allow a small stochastic margin
+            assert result.value >= 0.75 * opt
+
+    def test_single_arc_exact(self):
+        g = DirectedGraph(2, [(0, 1)])
+        result = maxdicut_gw(g, n_samples=64, seed=4)
+        assert result.value == 1.0
+
+    def test_requires_samples(self):
+        with pytest.raises(ValidationError):
+            maxdicut_gw(DirectedGraph(2, [(0, 1)]), n_samples=0)
+
+    def test_requires_vertices(self):
+        with pytest.raises(ValidationError):
+            maxdicut_gw(DirectedGraph(0), n_samples=4)
+
+    def test_sdp_objective_at_least_value(self):
+        g = self._random_digraph(9, 0.3, seed=5)
+        result = maxdicut_gw(g, n_samples=64, seed=6)
+        assert result.sdp_objective >= result.value - 1e-6

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.solver == "lif_gw"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--solver", "quantum"])
+
+    def test_figure4_graph_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--graphs", "not-a-graph"])
+
+
+class TestCommands:
+    def test_graphs_listing(self, capsys):
+        assert main(["graphs"]) == 0
+        out = capsys.readouterr().out
+        assert "hamming6-2" in out
+        assert "johnson16-2-4" in out
+
+    def test_solve_random_on_er(self, capsys):
+        code = main(["--seed", "1", "solve", "--solver", "random", "--er", "20", "0.3",
+                     "--samples", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut weight" in out
+
+    def test_solve_trevisan_on_registry_graph(self, capsys):
+        code = main(["solve", "--solver", "trevisan", "--graph", "road-chesapeake",
+                     "--samples", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "road-chesapeake" in out
+
+    def test_solve_lif_gw_small(self, capsys):
+        code = main(["--seed", "2", "solve", "--solver", "lif_gw", "--er", "14", "0.4",
+                     "--samples", "32"])
+        assert code == 0
+        assert "lif_gw" in capsys.readouterr().out
+
+    def test_table1_with_save(self, tmp_path, capsys):
+        out_file = tmp_path / "table1.json"
+        code = main([
+            "--seed", "3", "--save", str(out_file),
+            "table1", "--graphs", "road-chesapeake", "--samples", "32",
+        ])
+        assert code == 0
+        assert out_file.exists()
+        payload = json.loads(out_file.read_text())
+        assert payload["experiment"] == "table1"
+        assert "road-chesapeake" in capsys.readouterr().out
+
+    def test_figure3_with_plot(self, capsys):
+        code = main([
+            "--seed", "4",
+            "figure3", "--sizes", "12", "--probabilities", "0.4",
+            "--graphs-per-cell", "1", "--samples", "16", "--plot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "G(n=12" in out
+        assert "(log x)" in out
+
+    def test_figure4_single_graph(self, capsys):
+        code = main([
+            "--seed", "5",
+            "figure4", "--graphs", "eco-stmarks", "--samples", "16",
+        ])
+        assert code == 0
+        assert "eco-stmarks" in capsys.readouterr().out
+
+    def test_ablation_rank(self, capsys):
+        code = main([
+            "--seed", "6",
+            "ablation", "--kind", "rank", "--vertices", "16", "--samples", "16",
+        ])
+        assert code == 0
+        assert "rank_4" in capsys.readouterr().out
+
+    def test_solve_from_edge_list_file(self, tmp_path, capsys):
+        graph_file = tmp_path / "toy.txt"
+        graph_file.write_text("0 1\n1 2\n2 0\n")
+        code = main(["solve", "--solver", "random", "--graph", str(graph_file), "--samples", "8"])
+        assert code == 0
+        assert "toy" in capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Tests for random cuts, local search, and the exact MAXCUT solver."""
+
+import numpy as np
+import pytest
+
+from repro.cuts.cut import cut_weight
+from repro.cuts.exact import MAX_EXACT_VERTICES, exact_maxcut, exact_maxcut_value
+from repro.cuts.local_search import greedy_improve, local_search_maxcut
+from repro.cuts.random_cut import best_random_cut, random_cut, random_cuts_batch
+from repro.graphs.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+
+
+class TestRandomCut:
+    def test_valid_assignment(self, small_er_graph):
+        c = random_cut(small_er_graph, seed=1)
+        assert c.n_vertices == small_er_graph.n_vertices
+        assert set(np.unique(c.assignment)).issubset({-1, 1})
+
+    def test_reproducible(self, small_er_graph):
+        assert random_cut(small_er_graph, seed=5) == random_cut(small_er_graph, seed=5)
+
+    def test_batch_shapes(self, small_er_graph):
+        assignments, weights = random_cuts_batch(small_er_graph, 32, seed=2)
+        assert assignments.shape == (32, small_er_graph.n_vertices)
+        assert weights.shape == (32,)
+
+    def test_batch_zero_samples(self, small_er_graph):
+        assignments, weights = random_cuts_batch(small_er_graph, 0, seed=2)
+        assert assignments.shape[0] == 0
+        assert weights.shape == (0,)
+
+    def test_batch_negative_raises(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            random_cuts_batch(small_er_graph, -1)
+
+    def test_best_random_cut_is_max(self, small_er_graph):
+        best = best_random_cut(small_er_graph, 64, seed=3)
+        _, weights = random_cuts_batch(small_er_graph, 64, seed=3)
+        assert best.weight == pytest.approx(weights.max())
+
+    def test_best_random_requires_samples(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            best_random_cut(small_er_graph, 0)
+
+    def test_random_cut_mean_near_half_edges(self):
+        g = erdos_renyi(60, 0.3, seed=4)
+        _, weights = random_cuts_batch(g, 400, seed=5)
+        assert abs(weights.mean() - g.total_weight / 2) < 0.05 * g.total_weight
+
+
+class TestExactMaxcut:
+    def test_triangle(self, triangle):
+        assert exact_maxcut_value(triangle) == 2.0
+
+    def test_even_cycle(self, square_cycle):
+        assert exact_maxcut_value(square_cycle) == 4.0
+
+    def test_odd_cycle(self, five_cycle):
+        assert exact_maxcut_value(five_cycle) == 4.0
+
+    def test_bipartite_full_weight(self, small_bipartite):
+        assert exact_maxcut_value(small_bipartite) == small_bipartite.total_weight
+
+    def test_complete_graph_formula(self):
+        # MAXCUT(K_n) = floor(n/2) * ceil(n/2)
+        for n in (4, 5, 6, 7):
+            assert exact_maxcut_value(complete_graph(n)) == (n // 2) * ((n + 1) // 2)
+
+    def test_path(self):
+        assert exact_maxcut_value(path_graph(6)) == 5.0
+
+    def test_weighted(self, weighted_graph):
+        # by hand: the best bipartition is {0,2} vs {1,3} (or {0,3} vs {1,2}), value 6.5
+        value = exact_maxcut_value(weighted_graph)
+        assert value == pytest.approx(6.5)
+
+    def test_assignment_achieves_value(self, small_er_graph):
+        cut = exact_maxcut(small_er_graph)
+        assert cut_weight(small_er_graph, cut.assignment) == cut.weight
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValidationError):
+            exact_maxcut(erdos_renyi(MAX_EXACT_VERTICES + 1, 0.1, seed=0))
+
+    def test_single_vertex(self):
+        assert exact_maxcut_value(Graph(1)) == 0.0
+
+    def test_empty_graph(self):
+        assert exact_maxcut_value(Graph(0)) == 0.0
+
+    def test_block_size_independent(self, small_er_graph):
+        a = exact_maxcut(small_er_graph, block_size=64).weight
+        b = exact_maxcut(small_er_graph, block_size=1 << 14).weight
+        assert a == b
+
+
+class TestLocalSearch:
+    def test_improves_or_keeps(self, small_er_graph, rng):
+        start = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1, -1)
+        improved = greedy_improve(small_er_graph, start)
+        assert improved.weight >= cut_weight(small_er_graph, start)
+
+    def test_local_optimum_at_least_half(self, medium_er_graph):
+        cut = local_search_maxcut(medium_er_graph, n_restarts=2, seed=1)
+        assert cut.weight >= medium_er_graph.total_weight / 2
+
+    def test_reaches_optimum_on_small_graphs(self, small_er_graph):
+        best = local_search_maxcut(small_er_graph, n_restarts=10, seed=2)
+        assert best.weight <= exact_maxcut_value(small_er_graph)
+        assert best.weight >= 0.9 * exact_maxcut_value(small_er_graph)
+
+    def test_bipartite_optimum(self, small_bipartite):
+        cut = local_search_maxcut(small_bipartite, n_restarts=5, seed=3)
+        assert cut.weight == small_bipartite.total_weight
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        cut = greedy_improve(g, np.zeros(0, dtype=np.int8))
+        assert cut.weight == 0.0
+
+    def test_invalid_restarts(self, triangle):
+        with pytest.raises(ValueError):
+            local_search_maxcut(triangle, n_restarts=0)

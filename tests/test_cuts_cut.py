@@ -1,0 +1,150 @@
+"""Tests for repro.cuts.cut."""
+
+import numpy as np
+import pytest
+
+from repro.cuts.cut import (
+    Cut,
+    bits_from_spins,
+    cut_weight,
+    cut_weights_batch,
+    running_best_cuts,
+    spins_from_bits,
+)
+from repro.graphs.generators import complete_bipartite, erdos_renyi
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+
+
+class TestBitSpinConversion:
+    def test_spins_from_bits(self):
+        np.testing.assert_array_equal(spins_from_bits(np.array([0, 1, 0])), [-1, 1, -1])
+
+    def test_bits_from_spins(self):
+        np.testing.assert_array_equal(bits_from_spins(np.array([-1, 1, 1])), [0, 1, 1])
+
+    def test_round_trip(self):
+        bits = np.array([0, 1, 1, 0, 1])
+        np.testing.assert_array_equal(bits_from_spins(spins_from_bits(bits)), bits)
+
+    def test_2d_arrays(self):
+        bits = np.array([[0, 1], [1, 0]])
+        spins = spins_from_bits(bits)
+        assert spins.shape == (2, 2)
+
+
+class TestCutWeight:
+    def test_triangle(self, triangle):
+        # any bipartition of K3 cuts exactly 2 edges
+        assert cut_weight(triangle, np.array([1, 1, -1])) == 2.0
+        assert cut_weight(triangle, np.array([1, -1, -1])) == 2.0
+
+    def test_all_same_side_zero(self, triangle):
+        assert cut_weight(triangle, np.array([1, 1, 1])) == 0.0
+
+    def test_bipartite_full_cut(self, small_bipartite):
+        assignment = np.array([1, 1, 1, -1, -1, -1, -1])
+        assert cut_weight(small_bipartite, assignment) == small_bipartite.total_weight
+
+    def test_weighted(self, weighted_graph):
+        # cut {0,2} vs {1,3}: edges (0,1)=2, (1,2)=0.5, (2,3)=3, (0,3)=1 cross; (0,2)=1.5 does not
+        assignment = np.array([1, -1, 1, -1])
+        assert cut_weight(weighted_graph, assignment) == pytest.approx(6.5)
+
+    def test_matches_quadratic_form(self, small_er_graph, rng):
+        A = small_er_graph.adjacency()
+        v = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1, -1)
+        quadratic = 0.25 * float(np.sum(A * (1 - np.outer(v, v))))
+        assert cut_weight(small_er_graph, v) == pytest.approx(quadratic)
+
+    def test_wrong_length_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            cut_weight(triangle, np.array([1, -1]))
+
+    def test_non_spin_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            cut_weight(triangle, np.array([1, 0, -1]))
+
+    def test_empty_graph(self, empty_graph):
+        assert cut_weight(empty_graph, np.ones(5, dtype=int)) == 0.0
+
+
+class TestCutWeightsBatch:
+    def test_matches_single(self, small_er_graph, rng):
+        assignments = np.where(rng.random((20, small_er_graph.n_vertices)) < 0.5, 1, -1)
+        batch = cut_weights_batch(small_er_graph, assignments)
+        singles = [cut_weight(small_er_graph, a) for a in assignments]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_1d_input(self, triangle):
+        out = cut_weights_batch(triangle, np.array([1, -1, 1]))
+        assert out.shape == (1,)
+
+    def test_shape_mismatch_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            cut_weights_batch(triangle, np.ones((3, 5), dtype=int))
+
+    def test_invalid_values_raise(self, triangle):
+        with pytest.raises(ValidationError):
+            cut_weights_batch(triangle, np.zeros((2, 3), dtype=int))
+
+    def test_zero_samples(self, triangle):
+        out = cut_weights_batch(triangle, np.empty((0, 3), dtype=np.int8))
+        assert out.shape == (0,)
+
+    def test_empty_graph(self, empty_graph):
+        out = cut_weights_batch(empty_graph, np.ones((4, 5), dtype=int))
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+
+class TestCutClass:
+    def test_from_assignment(self, triangle):
+        c = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        assert c.weight == 2.0
+        assert c.graph_name == "triangle"
+        assert c.n_vertices == 3
+
+    def test_complement_same_weight(self, small_er_graph, rng):
+        v = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1, -1)
+        c = Cut.from_assignment(small_er_graph, v)
+        assert c.complement().weight == c.weight
+        np.testing.assert_array_equal(c.complement().assignment, -c.assignment)
+
+    def test_side_sizes(self, triangle):
+        c = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        assert c.side_sizes == (1, 2)
+
+    def test_partition(self, triangle):
+        c = Cut.from_assignment(triangle, np.array([1, -1, -1]))
+        negative, positive = c.partition()
+        np.testing.assert_array_equal(negative, [1, 2])
+        np.testing.assert_array_equal(positive, [0])
+
+    def test_ordering(self, triangle):
+        small = Cut.from_assignment(triangle, np.array([1, 1, 1]))
+        big = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        assert small < big
+        assert max(small, big) is big
+
+    def test_equality_and_hash(self, triangle):
+        a = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        b = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_with_other_type(self, triangle):
+        c = Cut.from_assignment(triangle, np.array([1, 1, -1]))
+        assert (c == 42) is False or (c != 42)
+
+
+class TestRunningBest:
+    def test_monotone(self):
+        out = running_best_cuts(np.array([3.0, 1.0, 5.0, 2.0]))
+        np.testing.assert_array_equal(out, [3.0, 3.0, 5.0, 5.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            running_best_cuts(np.zeros((2, 2)))
+
+    def test_empty(self):
+        assert running_best_cuts(np.zeros(0)).shape == (0,)

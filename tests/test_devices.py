@@ -1,0 +1,196 @@
+"""Tests for the stochastic device pools."""
+
+import numpy as np
+import pytest
+
+from repro.devices.base import DevicePool, estimate_statistics
+from repro.devices.bernoulli import BiasedCoinPool, FairCoinPool
+from repro.devices.correlated import CorrelatedDevicePool
+from repro.devices.drift import DriftingDevicePool
+from repro.devices.telegraph import TelegraphNoisePool
+from repro.utils.validation import ValidationError
+
+
+ALL_POOLS = [
+    lambda: FairCoinPool(8, seed=0),
+    lambda: BiasedCoinPool(0.3, n_devices=8, seed=0),
+    lambda: CorrelatedDevicePool(8, 0.4, seed=0),
+    lambda: DriftingDevicePool(8, seed=0),
+    lambda: TelegraphNoisePool(8, switch_up=0.3, seed=0),
+]
+
+
+class TestPoolInterface:
+    @pytest.mark.parametrize("factory", ALL_POOLS)
+    def test_sample_shape_and_values(self, factory):
+        pool = factory()
+        states = pool.sample(50)
+        assert states.shape == (50, 8)
+        assert states.dtype == np.int8
+        assert set(np.unique(states)).issubset({0, 1})
+
+    @pytest.mark.parametrize("factory", ALL_POOLS)
+    def test_zero_steps(self, factory):
+        assert factory().sample(0).shape == (0, 8)
+
+    @pytest.mark.parametrize("factory", ALL_POOLS)
+    def test_negative_steps_raises(self, factory):
+        with pytest.raises(ValidationError):
+            factory().sample(-1)
+
+    @pytest.mark.parametrize("factory", ALL_POOLS)
+    def test_sample_step(self, factory):
+        assert factory().sample_step().shape == (8,)
+
+    @pytest.mark.parametrize("factory", ALL_POOLS)
+    def test_expected_mean_shape(self, factory):
+        mean = factory().expected_mean()
+        assert mean.shape == (8,)
+        assert np.all((mean >= 0) & (mean <= 1))
+
+    def test_pool_requires_devices(self):
+        with pytest.raises(ValidationError):
+            FairCoinPool(0)
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            DevicePool(4)  # type: ignore[abstract]
+
+
+class TestFairCoinPool:
+    def test_empirical_mean_near_half(self):
+        stats = estimate_statistics(FairCoinPool(16, seed=1), n_steps=4000)
+        assert stats.max_bias < 0.05
+
+    def test_devices_independent(self):
+        stats = estimate_statistics(FairCoinPool(10, seed=2), n_steps=4000)
+        assert stats.max_cross_correlation < 0.08
+
+    def test_reproducible(self):
+        a = FairCoinPool(5, seed=7).sample(20)
+        b = FairCoinPool(5, seed=7).sample(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_expected_covariance_diagonal(self):
+        cov = FairCoinPool(4, seed=0).expected_covariance()
+        np.testing.assert_allclose(cov, 0.25 * np.eye(4))
+
+
+class TestBiasedCoinPool:
+    def test_scalar_probability(self):
+        pool = BiasedCoinPool(0.8, n_devices=6, seed=3)
+        states = pool.sample(3000)
+        assert abs(states.mean() - 0.8) < 0.03
+
+    def test_per_device_probabilities(self):
+        probs = np.array([0.1, 0.5, 0.9])
+        pool = BiasedCoinPool(probs, seed=4)
+        means = pool.sample(4000).mean(axis=0)
+        np.testing.assert_allclose(means, probs, atol=0.05)
+
+    def test_scalar_requires_n_devices(self):
+        with pytest.raises(ValidationError):
+            BiasedCoinPool(0.5)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            BiasedCoinPool(np.array([0.5, 1.2]))
+
+    def test_probabilities_property_copy(self):
+        pool = BiasedCoinPool(np.array([0.2, 0.7]), seed=5)
+        p = pool.probabilities
+        p[0] = 0.0
+        assert pool.probabilities[0] == 0.2
+
+
+class TestCorrelatedPool:
+    def test_target_correlation_achieved(self):
+        pool = CorrelatedDevicePool(12, correlation=0.5, seed=6)
+        stats = estimate_statistics(pool, n_steps=8000)
+        off_diag = stats.covariance / 0.25
+        np.fill_diagonal(off_diag, np.nan)
+        mean_corr = np.nanmean(off_diag)
+        assert abs(mean_corr - 0.5) < 0.08
+
+    def test_zero_correlation_behaves_like_fair(self):
+        pool = CorrelatedDevicePool(8, correlation=0.0, seed=7)
+        stats = estimate_statistics(pool, n_steps=5000)
+        assert stats.max_cross_correlation < 0.08
+
+    def test_marginals_fair(self):
+        pool = CorrelatedDevicePool(6, correlation=0.7, seed=8)
+        stats = estimate_statistics(pool, n_steps=5000)
+        assert stats.max_bias < 0.05
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ValidationError):
+            CorrelatedDevicePool(4, correlation=1.0)
+        with pytest.raises(ValidationError):
+            CorrelatedDevicePool(4, correlation=-0.2)
+
+    def test_expected_covariance(self):
+        cov = CorrelatedDevicePool(3, correlation=0.4, seed=0).expected_covariance()
+        assert cov[0, 1] == pytest.approx(0.1)
+        assert cov[0, 0] == pytest.approx(0.25)
+
+
+class TestDriftingPool:
+    def test_long_run_mean_near_target(self):
+        pool = DriftingDevicePool(10, drift_rate=0.05, drift_scale=0.05, seed=9)
+        states = pool.sample(5000)
+        assert abs(states.mean() - 0.5) < 0.08
+
+    def test_probabilities_drift_over_time(self):
+        pool = DriftingDevicePool(4, drift_rate=0.0, drift_scale=0.3, seed=10)
+        pool.sample(500)
+        assert np.any(np.abs(pool.current_probabilities - 0.5) > 0.05)
+
+    def test_reset(self):
+        pool = DriftingDevicePool(4, drift_scale=0.5, seed=11)
+        pool.sample(100)
+        pool.reset()
+        np.testing.assert_allclose(pool.current_probabilities, 0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            DriftingDevicePool(4, drift_rate=2.0)
+        with pytest.raises(ValidationError):
+            DriftingDevicePool(4, target_probability=1.0)
+
+
+class TestTelegraphPool:
+    def test_stationary_mean(self):
+        pool = TelegraphNoisePool(8, switch_up=0.2, switch_down=0.2, seed=12)
+        states = pool.sample(6000)
+        assert abs(states.mean() - 0.5) < 0.06
+
+    def test_asymmetric_switching_mean(self):
+        pool = TelegraphNoisePool(8, switch_up=0.3, switch_down=0.1, seed=13)
+        states = pool.sample(6000)
+        # stationary P(1) = p_up / (p_up + p_down) = 0.75
+        assert abs(states.mean() - 0.75) < 0.06
+
+    def test_temporal_correlation_positive_for_slow_switching(self):
+        pool = TelegraphNoisePool(1, switch_up=0.05, seed=14)
+        states = pool.sample(4000)[:, 0].astype(float)
+        lag1 = np.corrcoef(states[:-1], states[1:])[0, 1]
+        assert lag1 > 0.5
+
+    def test_lag1_autocorrelation_formula(self):
+        pool = TelegraphNoisePool(2, switch_up=0.1, switch_down=0.3, seed=15)
+        assert pool.lag1_autocorrelation() == pytest.approx(0.6)
+
+    def test_never_switching_mean_reported_half(self):
+        pool = TelegraphNoisePool(4, switch_up=0.0, switch_down=0.0, seed=16)
+        np.testing.assert_allclose(pool.expected_mean(), 0.5)
+
+
+class TestEstimateStatistics:
+    def test_requires_two_steps(self):
+        with pytest.raises(ValidationError):
+            estimate_statistics(FairCoinPool(3, seed=0), n_steps=1)
+
+    def test_single_device_covariance_2d(self):
+        stats = estimate_statistics(FairCoinPool(1, seed=0), n_steps=100)
+        assert stats.covariance.shape == (1, 1)
+        assert stats.max_cross_correlation == 0.0

@@ -1,0 +1,82 @@
+"""Tests for experiment configuration objects."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_FIGURE3_PROBABILITIES,
+    PAPER_FIGURE3_SIZES,
+    PAPER_SAMPLE_BUDGET,
+    AblationConfig,
+    Figure3Config,
+    Figure4Config,
+    Table1Config,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestPaperConstants:
+    def test_figure3_grid_matches_paper(self):
+        assert PAPER_FIGURE3_SIZES == (50, 100, 200, 350, 500)
+        assert PAPER_FIGURE3_PROBABILITIES == (0.1, 0.25, 0.5, 0.75)
+
+    def test_sample_budget_is_2_to_20(self):
+        assert PAPER_SAMPLE_BUDGET == 2**20
+
+
+class TestFigure3Config:
+    def test_defaults(self):
+        config = Figure3Config()
+        assert config.n_graphs_per_cell == 10  # the paper's value
+        assert config.n_samples >= 1
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValidationError):
+            Figure3Config(sizes=())
+
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(ValidationError):
+            Figure3Config(sizes=(1,))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            Figure3Config(probabilities=(0.0,))
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            Figure3Config(n_samples=0)
+
+    def test_rejects_zero_graphs(self):
+        with pytest.raises(ValidationError):
+            Figure3Config(n_graphs_per_cell=0)
+
+
+class TestFigure4Config:
+    def test_defaults(self):
+        assert Figure4Config().n_samples >= 1
+
+    def test_rejects_zero_solver_samples(self):
+        with pytest.raises(ValidationError):
+            Figure4Config(n_solver_samples=0)
+
+
+class TestTable1Config:
+    def test_defaults(self):
+        assert Table1Config().n_samples >= 1
+
+    def test_rejects_zero_random_samples(self):
+        with pytest.raises(ValidationError):
+            Table1Config(n_random_samples=0)
+
+
+class TestAblationConfig:
+    def test_defaults(self):
+        config = AblationConfig()
+        assert config.n_graphs >= 1
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            AblationConfig(n_vertices=1)
+        with pytest.raises(ValidationError):
+            AblationConfig(edge_probability=0.0)
+        with pytest.raises(ValidationError):
+            AblationConfig(n_graphs=0)

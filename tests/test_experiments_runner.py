@@ -1,0 +1,90 @@
+"""Tests for experiment result persistence (repro.experiments.runner)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import AblationPoint
+from repro.experiments.runner import (
+    ExperimentRecord,
+    load_results,
+    results_to_jsonable,
+    save_results,
+)
+from repro.experiments.table1 import Table1Row
+from repro.utils.validation import ValidationError
+
+
+def _toy_row():
+    return Table1Row(
+        graph_name="toy",
+        n_vertices=5,
+        n_edges=6,
+        measured={"lif_gw": 5.0, "lif_tr": 4.0, "solver": 5.0, "random": 3.0},
+        paper={"lif_gw": 5, "solver": 5, "lif_tr": 5, "random": 4, "reference": 5},
+        is_surrogate=True,
+    )
+
+
+def _toy_point():
+    return AblationPoint(
+        setting="fair",
+        mean_relative_cut=0.97,
+        sem=0.01,
+        per_graph=np.array([0.96, 0.98]),
+        metadata={"circuit": "lif_gw"},
+    )
+
+
+class TestResultsToJsonable:
+    def test_table1_row_serialised(self):
+        payload = results_to_jsonable([_toy_row()])
+        assert payload[0]["__type__"] == "Table1Row"
+        assert payload[0]["measured"]["lif_gw"] == 5.0
+
+    def test_numpy_arrays_become_lists(self):
+        payload = results_to_jsonable([_toy_point()])
+        assert payload[0]["per_graph"] == [0.96, 0.98]
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(ValidationError):
+            results_to_jsonable([{"not": "a result"}])
+
+    def test_json_round_trip(self):
+        payload = results_to_jsonable([_toy_row(), _toy_row()])
+        text = json.dumps(payload)
+        assert json.loads(text) == payload
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        record = save_results(path, "table1", [_toy_row()], config={"n_samples": 64})
+        assert isinstance(record, ExperimentRecord)
+        loaded = load_results(path)
+        assert loaded.experiment == "table1"
+        assert loaded.config == {"n_samples": 64}
+        assert loaded.result_type() == "Table1Row"
+        assert loaded.results[0]["graph_name"] == "toy"
+        assert loaded.version != ""
+
+    def test_empty_results(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_results(path, "figure3", [])
+        loaded = load_results(path)
+        assert loaded.results == []
+        assert loaded.result_type() is None
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"experiment": "x"}))
+        with pytest.raises(ValidationError):
+            load_results(path)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(path, "ablation", [_toy_point()])
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "ablation"
+        assert payload["results"][0]["setting"] == "fair"

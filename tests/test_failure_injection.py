@@ -1,0 +1,120 @@
+"""Failure-injection tests: malformed inputs and degenerate graphs.
+
+The library should fail loudly (ValidationError) on malformed input and keep
+working (not crash, not return NaN) on degenerate-but-legal graphs such as
+edgeless graphs, disconnected graphs, and graphs with isolated vertices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.goemans_williamson import goemans_williamson
+from repro.algorithms.random_baseline import random_baseline
+from repro.circuits.config import LIFGWConfig, LIFTrevisanConfig
+from repro.circuits.lif_gw import LIFGWCircuit
+from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+from repro.cuts.cut import cut_weight
+from repro.graphs.graph import Graph
+from repro.sdp.burer_monteiro import solve_maxcut_sdp
+from repro.spectral.trevisan import trevisan_simple_spectral
+from repro.utils.validation import ValidationError
+
+FAST_GW = LIFGWConfig(burn_in_steps=10, sample_interval=2, sdp_max_iterations=100)
+FAST_TR = LIFTrevisanConfig(burn_in_steps=10, sample_interval=2)
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components plus two isolated vertices."""
+    return Graph(10, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)], name="disconnected")
+
+
+@pytest.fixture
+def star_with_isolated():
+    return Graph(6, [(0, 1), (0, 2), (0, 3)], name="star_plus_isolated")
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_through_sdp(self, empty_graph):
+        result = solve_maxcut_sdp(empty_graph, rank=3)
+        assert result.objective == 0.0
+
+    def test_edgeless_graph_through_trevisan(self, empty_graph):
+        cut = trevisan_simple_spectral(empty_graph).cut
+        assert cut.weight == 0.0
+
+    def test_edgeless_graph_through_circuits(self, empty_graph):
+        gw = LIFGWCircuit(empty_graph, config=FAST_GW, seed=0).sample_cuts(8, seed=1)
+        tr = LIFTrevisanCircuit(empty_graph, config=FAST_TR).sample_cuts(8, seed=2)
+        assert gw.best_weight == 0.0
+        assert tr.best_weight == 0.0
+
+    def test_edgeless_graph_through_random(self, empty_graph):
+        best, weights = random_baseline(empty_graph, 8, seed=3)
+        assert best.weight == 0.0
+        assert np.all(weights == 0.0)
+
+    def test_disconnected_graph_circuits_run(self, disconnected_graph):
+        gw = LIFGWCircuit(disconnected_graph, config=FAST_GW, seed=4).sample_cuts(32, seed=5)
+        tr = LIFTrevisanCircuit(disconnected_graph, config=FAST_TR).sample_cuts(32, seed=6)
+        assert np.isfinite(gw.best_weight)
+        assert np.isfinite(tr.best_weight)
+        assert gw.best_weight <= disconnected_graph.total_weight
+
+    def test_isolated_vertices_do_not_produce_nan(self, star_with_isolated):
+        # isolated vertices have zero degree: D^{-1/2} handling must stay finite
+        T = star_with_isolated.trevisan_matrix()
+        assert np.all(np.isfinite(T))
+        cut = trevisan_simple_spectral(star_with_isolated).cut
+        assert np.isfinite(cut.weight)
+        result = LIFTrevisanCircuit(star_with_isolated, config=FAST_TR).sample_cuts(16, seed=7)
+        assert np.isfinite(result.best_weight)
+
+    def test_single_vertex_graph(self):
+        g = Graph(1, [], name="single")
+        gw = LIFGWCircuit(g, config=FAST_GW, seed=8).sample_cuts(4, seed=9)
+        assert gw.best_weight == 0.0
+
+    def test_two_vertex_graph(self):
+        g = Graph(2, [(0, 1)], name="edge")
+        result = goemans_williamson(g, n_samples=32, seed=10)
+        assert result.best_weight == 1.0
+
+    def test_heavily_weighted_edges(self):
+        g = Graph(4, [(0, 1, 1e6), (2, 3, 1e-6), (0, 2, 1.0)], name="extreme_weights")
+        result = goemans_williamson(g, n_samples=64, seed=11)
+        assert result.best_weight >= 1e6  # the heavy edge must be cut
+
+
+class TestMalformedInputs:
+    def test_graph_rejects_nan_weight(self):
+        with pytest.raises(ValidationError):
+            Graph(2, [(0, 1, float("nan"))])
+
+    def test_graph_rejects_inf_weight(self):
+        with pytest.raises(ValidationError):
+            Graph(2, [(0, 1, float("inf"))])
+
+    def test_cut_weight_rejects_wrong_length(self, triangle):
+        with pytest.raises(ValidationError):
+            cut_weight(triangle, np.ones(7, dtype=int))
+
+    def test_circuit_rejects_zero_samples(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            LIFGWCircuit(small_er_graph, config=FAST_GW, seed=12).sample_cuts(0)
+
+    def test_circuit_rejects_empty_graph(self):
+        with pytest.raises(ValidationError):
+            LIFGWCircuit(Graph(0))
+        with pytest.raises(ValidationError):
+            LIFTrevisanCircuit(Graph(0))
+
+    def test_sdp_rejects_bad_rank(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            solve_maxcut_sdp(small_er_graph, rank=-2)
+
+    def test_config_rejects_nonsense(self):
+        with pytest.raises(ValidationError):
+            LIFGWConfig(sample_interval=-1)
+        with pytest.raises(ValidationError):
+            LIFTrevisanConfig(learning_rate=-0.1)

@@ -1,0 +1,178 @@
+"""Tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.generators import hamming_distance_graph
+from repro.graphs.properties import degree_statistics, is_bipartite, is_connected
+from repro.utils.validation import ValidationError
+
+
+class TestErdosRenyi:
+    def test_seed_reproducibility(self):
+        a = gen.erdos_renyi(30, 0.3, seed=5)
+        b = gen.erdos_renyi(30, 0.3, seed=5)
+        assert a == b
+
+    def test_p_zero_and_one(self):
+        assert gen.erdos_renyi(10, 0.0, seed=1).n_edges == 0
+        assert gen.erdos_renyi(10, 1.0, seed=1).n_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        g = gen.erdos_renyi(200, 0.25, seed=3)
+        expected = 0.25 * 200 * 199 / 2
+        assert abs(g.n_edges - expected) < 0.15 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_zero_vertices(self):
+        assert gen.erdos_renyi(0, 0.5).n_vertices == 0
+
+
+class TestDeterministicFamilies:
+    def test_complete_graph(self):
+        g = gen.complete_graph(6)
+        assert g.n_edges == 15
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(7)
+        assert g.n_edges == 7
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValidationError):
+            gen.cycle_graph(2)
+
+    def test_path_graph(self):
+        g = gen.path_graph(5)
+        assert g.n_edges == 4
+
+    def test_star_graph(self):
+        g = gen.star_graph(6)
+        assert g.n_vertices == 7
+        assert g.degrees()[0] == 6
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.n_edges == 12
+        assert is_bipartite(g)
+
+    def test_grid_graph(self):
+        g = gen.grid_graph(3, 4)
+        assert g.n_vertices == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # vertical + horizontal: 2*(4-1)... verify count
+        assert g.n_edges == 17
+
+    def test_grid_graph_single_row(self):
+        g = gen.grid_graph(1, 5)
+        assert g.n_edges == 4
+
+
+class TestHammingJohnson:
+    def test_hamming_graph_h32(self):
+        # H(3, 2): the 3-cube, 8 vertices of degree 3, 12 edges.
+        g = gen.hamming_graph(3, 2)
+        assert g.n_vertices == 8
+        assert g.n_edges == 12
+        assert np.all(g.degrees() == 3)
+
+    def test_hamming_distance_graph_small(self):
+        # d=2, min distance 2: complement of the 2-cube's unit-distance graph
+        g = hamming_distance_graph(2, 2)
+        assert g.n_vertices == 4
+        # pairs at distance >= 2: only the two antipodal pairs (00-11, 01-10)
+        assert g.n_edges == 2
+
+    def test_hamming6_2_published_size(self):
+        g = hamming_distance_graph(6, 2)
+        assert g.n_vertices == 64
+        assert g.n_edges == 1824  # published DIMACS size
+
+    def test_johnson16_2_4_published_size(self):
+        g = gen.johnson_graph(16, 2, 4)
+        assert g.n_vertices == 120
+        assert g.n_edges == 5460  # published DIMACS size
+
+    def test_johnson_small(self):
+        # 2-subsets of a 4-set: 6 vertices; disjoint pairs: 3 edges.
+        g = gen.johnson_graph(4, 2, 4)
+        assert g.n_vertices == 6
+        assert g.n_edges == 3
+
+
+class TestRandomFamilies:
+    def test_barabasi_albert_size(self):
+        g = gen.barabasi_albert(50, 3, seed=1)
+        assert g.n_vertices == 50
+        # m edges per new vertex after the initial star of m+1 vertices
+        assert g.n_edges == 3 + (50 - 4) * 3
+
+    def test_barabasi_albert_invalid_m(self):
+        with pytest.raises(ValidationError):
+            gen.barabasi_albert(5, 5)
+
+    def test_barabasi_albert_reproducible(self):
+        assert gen.barabasi_albert(40, 2, seed=9) == gen.barabasi_albert(40, 2, seed=9)
+
+    def test_watts_strogatz_no_rewire(self):
+        g = gen.watts_strogatz(20, 4, 0.0, seed=0)
+        assert np.all(g.degrees() == 4)
+
+    def test_watts_strogatz_rewired_edge_count_preserved(self):
+        g = gen.watts_strogatz(30, 4, 0.5, seed=2)
+        assert g.n_edges == 30 * 2
+
+    def test_watts_strogatz_odd_k_rejected(self):
+        with pytest.raises(ValidationError):
+            gen.watts_strogatz(10, 3, 0.1)
+
+    def test_configuration_model_degrees(self):
+        degrees = [3, 3, 2, 2, 2, 2]
+        g = gen.configuration_model(degrees, seed=4)
+        assert g.n_vertices == 6
+        assert np.all(g.degrees() <= np.array(degrees))
+
+    def test_configuration_model_odd_sum_rejected(self):
+        with pytest.raises(ValidationError):
+            gen.configuration_model([3, 2])
+
+    def test_configuration_model_degree_too_large(self):
+        with pytest.raises(ValidationError):
+            gen.configuration_model([3, 1, 1, 1][:2])
+
+    def test_planted_partition_bisection_heavy(self):
+        g = gen.planted_partition(40, 0.05, 0.9, seed=3)
+        # cross edges should dominate within edges
+        half = 20
+        cross = sum(
+            1 for (u, v) in g.edges if (u < half) != (v < half)
+        )
+        assert cross > g.n_edges / 2
+
+    def test_random_regular(self):
+        g = gen.random_regular(20, 4, seed=5)
+        assert np.all(g.degrees() == 4)
+        assert is_connected(g) or True  # connectivity not guaranteed, degrees are
+
+    def test_random_regular_odd_product_rejected(self):
+        with pytest.raises(ValidationError):
+            gen.random_regular(5, 3)
+
+    def test_random_regular_d_too_large(self):
+        with pytest.raises(ValidationError):
+            gen.random_regular(4, 4)
+
+
+class TestStatisticalShape:
+    def test_er_mean_degree(self):
+        g = gen.erdos_renyi(300, 0.1, seed=11)
+        stats = degree_statistics(g)
+        assert abs(stats.mean - 0.1 * 299) < 4.0
+
+    def test_ba_has_hubs(self):
+        g = gen.barabasi_albert(200, 2, seed=12)
+        stats = degree_statistics(g)
+        assert stats.maximum > 3 * stats.mean

@@ -1,0 +1,121 @@
+"""Tests for repro.graphs.io."""
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, weighted_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(weighted_graph, path)
+        back = read_edge_list(path)
+        assert back.n_vertices == weighted_graph.n_vertices
+        assert back.n_edges == weighted_graph.n_edges
+        assert back.total_weight == pytest.approx(weighted_graph.total_weight)
+
+    def test_round_trip_one_indexed(self, tmp_path):
+        g = erdos_renyi(15, 0.4, seed=3)
+        path = tmp_path / "graph1.txt"
+        write_edge_list(g, path, one_indexed=True)
+        back = read_edge_list(path, one_indexed=True)
+        assert back == g
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+        assert g.n_vertices == 3
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).n_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(ValidationError):
+            read_edge_list(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ValidationError):
+            read_edge_list(path)
+
+    def test_negative_vertex_raises(self, tmp_path):
+        # a 0 label shifted down by one_indexed goes negative
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValidationError):
+            read_edge_list(path, one_indexed=True)
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestMatrixMarket:
+    def test_round_trip_unweighted(self, tmp_path):
+        g = erdos_renyi(12, 0.4, seed=8)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        back = read_matrix_market(path)
+        assert back == g
+
+    def test_round_trip_weighted(self, tmp_path, weighted_graph):
+        path = tmp_path / "w.mtx"
+        write_matrix_market(weighted_graph, path)
+        back = read_matrix_market(path)
+        assert back.total_weight == pytest.approx(weighted_graph.total_weight)
+
+    def test_pattern_header_written_for_unweighted(self, tmp_path):
+        g = Graph(3, [(0, 1)])
+        path = tmp_path / "p.mtx"
+        write_matrix_market(g, path)
+        assert "pattern" in path.read_text().splitlines()[0]
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+    def test_unsupported_field_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex symmetric\n2 2 1\n1 2 1 0\n")
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+    def test_rectangular_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1.0\n")
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+    def test_general_symmetry_accepted(self, tmp_path):
+        path = tmp_path / "gen.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 2\n1 2 1.0\n2 1 1.0\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n_edges == 1
+
+    def test_self_loops_ignored(self, tmp_path):
+        path = tmp_path / "loop.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n"
+        )
+        assert read_matrix_market(path).n_edges == 1

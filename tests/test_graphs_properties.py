@@ -1,0 +1,94 @@
+"""Tests for repro.graphs.properties."""
+
+import pytest
+
+from repro.graphs.generators import complete_bipartite, complete_graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    connected_components,
+    degree_statistics,
+    graph_summary,
+    is_bipartite,
+    is_connected,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        assert len(connected_components(triangle)) == 1
+
+    def test_multiple_components(self):
+        # two 2-vertex components plus two singletons
+        g = Graph(6, [(0, 1), (2, 3)])
+        components = connected_components(g)
+        assert len(components) == 4
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 2, 2]
+
+    def test_all_isolated(self, empty_graph):
+        assert len(connected_components(empty_graph)) == empty_graph.n_vertices
+
+    def test_is_connected_true(self, five_cycle):
+        assert is_connected(five_cycle)
+
+    def test_is_connected_false(self, empty_graph):
+        assert not is_connected(empty_graph)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph(0))
+
+
+class TestBipartiteness:
+    def test_even_cycle_bipartite(self, square_cycle):
+        assert is_bipartite(square_cycle)
+
+    def test_odd_cycle_not_bipartite(self, five_cycle):
+        assert not is_bipartite(five_cycle)
+
+    def test_complete_bipartite(self):
+        assert is_bipartite(complete_bipartite(4, 5))
+
+    def test_triangle_not_bipartite(self, triangle):
+        assert not is_bipartite(triangle)
+
+    def test_edgeless_bipartite(self, empty_graph):
+        assert is_bipartite(empty_graph)
+
+
+class TestDegreeStatistics:
+    def test_regular_graph(self):
+        stats = degree_statistics(cycle_graph(10))
+        assert stats.minimum == stats.maximum == stats.mean == 2.0
+        assert stats.std == 0.0
+        assert stats.n_isolated == 0
+
+    def test_isolated_counted(self):
+        g = Graph(4, [(0, 1)])
+        assert degree_statistics(g).n_isolated == 2
+
+    def test_empty_graph(self):
+        stats = degree_statistics(Graph(0))
+        assert stats.mean == 0.0
+
+    def test_complete_graph(self):
+        stats = degree_statistics(complete_graph(5))
+        assert stats.mean == 4.0
+
+
+class TestGraphSummary:
+    def test_keys_present(self, small_er_graph):
+        summary = graph_summary(small_er_graph)
+        for key in ("name", "n_vertices", "n_edges", "density", "connected", "degree_mean"):
+            assert key in summary
+
+    def test_values_consistent(self, triangle):
+        summary = graph_summary(triangle)
+        assert summary["n_vertices"] == 3
+        assert summary["n_edges"] == 3
+        assert summary["density"] == pytest.approx(1.0)
+        assert summary["connected"] is True
+
+    def test_er_summary(self):
+        g = erdos_renyi(50, 0.2, seed=1)
+        summary = graph_summary(g)
+        assert summary["n_edges"] == g.n_edges

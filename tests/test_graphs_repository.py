@@ -1,0 +1,91 @@
+"""Tests for repro.graphs.repository (the Table I graph registry)."""
+
+import pytest
+
+from repro.graphs.repository import (
+    EMPIRICAL_GRAPHS,
+    list_empirical_graphs,
+    load_empirical_graph,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestRegistry:
+    def test_sixteen_graphs(self):
+        assert len(EMPIRICAL_GRAPHS) == 16
+        assert len(list_empirical_graphs()) == 16
+
+    def test_paper_row_order_starts_with_hamming(self):
+        assert list_empirical_graphs()[0] == "hamming6-2"
+
+    def test_all_specs_have_table1_values(self):
+        for spec in EMPIRICAL_GRAPHS.values():
+            assert set(spec.table1.keys()) == {
+                "lif_gw", "lif_tr", "solver", "random", "reference"
+            }
+            assert all(v > 0 for v in spec.table1.values())
+
+    def test_table1_solver_at_least_random(self):
+        # In the paper's Table I the solver's cut is never below the random cut.
+        for spec in EMPIRICAL_GRAPHS.values():
+            assert spec.table1["solver"] >= spec.table1["random"]
+
+    def test_unknown_graph_raises(self):
+        with pytest.raises(ValidationError):
+            load_empirical_graph("not-a-graph")
+
+
+class TestExactConstructions:
+    def test_hamming6_2(self):
+        g = load_empirical_graph("hamming6-2")
+        spec = EMPIRICAL_GRAPHS["hamming6-2"]
+        assert g.n_vertices == spec.n_vertices
+        assert g.n_edges == spec.n_edges
+
+    def test_johnson16_2_4(self):
+        g = load_empirical_graph("johnson16-2-4")
+        spec = EMPIRICAL_GRAPHS["johnson16-2-4"]
+        assert g.n_vertices == spec.n_vertices
+        assert g.n_edges == spec.n_edges
+
+    def test_exact_graphs_ignore_seed(self):
+        assert load_empirical_graph("hamming6-2", seed=1) == load_empirical_graph(
+            "hamming6-2", seed=2
+        )
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize(
+        "name",
+        ["soc-dolphins", "road-chesapeake", "ca-netscience", "dwt-209", "ENZYMES8"],
+    )
+    def test_vertex_count_matches_spec(self, name):
+        g = load_empirical_graph(name, seed=0)
+        assert g.n_vertices == EMPIRICAL_GRAPHS[name].n_vertices
+
+    @pytest.mark.parametrize("name", ["soc-dolphins", "eco-stmarks", "email-enron-only"])
+    def test_edge_count_in_ballpark(self, name):
+        g = load_empirical_graph(name, seed=0)
+        target = EMPIRICAL_GRAPHS[name].n_edges
+        assert 0.5 * target <= g.n_edges <= 1.6 * target
+
+    def test_surrogates_reproducible(self):
+        a = load_empirical_graph("soc-dolphins", seed=3)
+        b = load_empirical_graph("soc-dolphins", seed=3)
+        assert a == b
+
+    def test_surrogates_vary_with_seed(self):
+        a = load_empirical_graph("soc-dolphins", seed=3)
+        b = load_empirical_graph("soc-dolphins", seed=4)
+        assert a != b
+
+    def test_grid_family_surrogate(self):
+        g = load_empirical_graph("dwt-209", seed=0)
+        spec = EMPIRICAL_GRAPHS["dwt-209"]
+        assert g.n_vertices == spec.n_vertices
+        assert g.n_edges <= spec.n_edges
+        assert g.n_edges >= spec.n_edges - 5  # fills up to the target or very close
+
+    def test_graph_name_matches_registry_key(self):
+        for name in ("hamming6-2", "soc-dolphins", "dwt-503"):
+            assert load_empirical_graph(name, seed=0).name == name

@@ -1,0 +1,168 @@
+"""Tests for the Ising formulation and annealing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cuts.cut import cut_weight
+from repro.cuts.exact import exact_maxcut_value
+from repro.graphs.generators import complete_bipartite, complete_graph, erdos_renyi
+from repro.graphs.graph import Graph
+from repro.ising.annealing import AnnealingSchedule, SimulatedAnnealer, simulated_annealing_maxcut
+from repro.ising.model import IsingModel, cut_weight_from_spins, ising_energy, maxcut_to_ising
+from repro.ising.tempering import parallel_tempering
+from repro.utils.validation import ValidationError
+
+
+class TestIsingModel:
+    def test_maxcut_mapping_consistency(self, small_er_graph, rng):
+        """cut(v) = offset - H(v) must hold for arbitrary spin configurations."""
+        model = maxcut_to_ising(small_er_graph)
+        for _ in range(20):
+            spins = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1, -1).astype(np.int8)
+            assert cut_weight_from_spins(model, spins) == pytest.approx(
+                cut_weight(small_er_graph, spins)
+            )
+
+    def test_energy_of_uniform_spins(self, triangle):
+        model = maxcut_to_ising(triangle)
+        # all spins aligned: H = sum J_ij = 3 * 0.5 = 1.5, cut = 1.5 - 1.5 = 0
+        spins = np.ones(3, dtype=np.int8)
+        assert ising_energy(model, spins) == pytest.approx(1.5)
+        assert cut_weight_from_spins(model, spins) == pytest.approx(0.0)
+
+    def test_coupling_matrix_symmetric(self, small_er_graph):
+        J = maxcut_to_ising(small_er_graph).coupling_matrix()
+        np.testing.assert_allclose(J, J.T)
+        assert np.all(np.diag(J) == 0)
+
+    def test_local_fields_match_flip_energy(self, small_er_graph, rng):
+        """delta E of flipping spin i equals -2 v_i local_i."""
+        model = maxcut_to_ising(small_er_graph)
+        spins = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1, -1).astype(np.int8)
+        local = model.local_fields(spins)
+        base_energy = ising_energy(model, spins)
+        for i in range(0, small_er_graph.n_vertices, 3):
+            flipped = spins.copy()
+            flipped[i] = -flipped[i]
+            delta = ising_energy(model, flipped) - base_energy
+            assert delta == pytest.approx(-2.0 * spins[i] * local[i])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            IsingModel(n_spins=2, edges=np.array([[0, 5]]), couplings=np.array([1.0]), fields=np.zeros(2))
+        with pytest.raises(ValidationError):
+            IsingModel(n_spins=2, edges=np.array([[0, 1]]), couplings=np.array([1.0]), fields=np.zeros(3))
+
+    def test_empty_graph_model(self, empty_graph):
+        model = maxcut_to_ising(empty_graph)
+        assert model.n_couplings == 0
+        spins = np.ones(5, dtype=np.int8)
+        assert cut_weight_from_spins(model, spins) == 0.0
+
+
+class TestAnnealingSchedule:
+    def test_temperature_ladder(self):
+        schedule = AnnealingSchedule(t_start=2.0, t_end=0.5, n_sweeps=4)
+        temps = schedule.temperatures()
+        assert temps.shape == (4,)
+        assert temps[0] == pytest.approx(2.0)
+        assert temps[-1] == pytest.approx(0.5)
+        assert np.all(np.diff(temps) < 0)
+
+    def test_single_sweep(self):
+        assert AnnealingSchedule(n_sweeps=1).temperatures().shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(t_start=0.0)
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(t_start=1.0, t_end=2.0)
+        with pytest.raises(ValidationError):
+            AnnealingSchedule(n_sweeps=0)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_optimum_on_small_graphs(self, small_er_graph):
+        opt = exact_maxcut_value(small_er_graph)
+        cut = simulated_annealing_maxcut(
+            small_er_graph, AnnealingSchedule(n_sweeps=300), n_restarts=3, seed=0
+        )
+        assert cut.weight >= 0.95 * opt
+
+    def test_bipartite_exact(self):
+        graph = complete_bipartite(6, 5)
+        cut = simulated_annealing_maxcut(graph, seed=1)
+        assert cut.weight == graph.total_weight
+
+    def test_complete_graph_exact(self):
+        graph = complete_graph(9)
+        cut = simulated_annealing_maxcut(graph, AnnealingSchedule(n_sweeps=300), seed=2)
+        assert cut.weight == 20.0  # floor(9/2)*ceil(9/2)
+
+    def test_annealer_energy_decreases_overall(self, medium_er_graph):
+        model = maxcut_to_ising(medium_er_graph)
+        annealer = SimulatedAnnealer(model, seed=3)
+        rng = np.random.default_rng(4)
+        start = (2 * rng.integers(0, 2, size=model.n_spins) - 1).astype(np.int8)
+        start_energy = ising_energy(model, start)
+        spins, energy = annealer.anneal(AnnealingSchedule(n_sweeps=200), initial_spins=start)
+        assert energy <= start_energy
+        assert energy == pytest.approx(ising_energy(model, spins))
+
+    def test_reproducible(self, small_er_graph):
+        a = simulated_annealing_maxcut(small_er_graph, seed=5)
+        b = simulated_annealing_maxcut(small_er_graph, seed=5)
+        assert a.weight == b.weight
+
+    def test_invalid_restarts(self, triangle):
+        with pytest.raises(ValidationError):
+            simulated_annealing_maxcut(triangle, n_restarts=0)
+
+    def test_empty_graph(self, empty_graph):
+        assert simulated_annealing_maxcut(empty_graph, seed=6).weight == 0.0
+
+    def test_wrong_initial_spins(self, triangle):
+        model = maxcut_to_ising(triangle)
+        with pytest.raises(ValidationError):
+            SimulatedAnnealer(model, seed=7).anneal(initial_spins=np.ones(5, dtype=np.int8))
+
+    def test_beats_random_baseline(self):
+        graph = erdos_renyi(40, 0.3, seed=8)
+        from repro.algorithms.random_baseline import random_baseline
+
+        sa = simulated_annealing_maxcut(graph, AnnealingSchedule(n_sweeps=150), seed=9)
+        random_best, _ = random_baseline(graph, 150, seed=10)
+        assert sa.weight >= random_best.weight
+
+
+class TestParallelTempering:
+    def test_finds_optimum_on_small_graph(self, small_er_graph):
+        opt = exact_maxcut_value(small_er_graph)
+        result = parallel_tempering(small_er_graph, n_replicas=4, n_sweeps=150, seed=0)
+        assert result.best_cut.weight >= 0.95 * opt
+
+    def test_result_fields(self, small_er_graph):
+        result = parallel_tempering(small_er_graph, n_replicas=4, n_sweeps=50, seed=1)
+        assert result.temperatures.shape == (4,)
+        assert 0.0 <= result.swap_acceptance_rate <= 1.0
+        assert len(result.energy_history) == 50
+        # best energy history is monotone non-increasing
+        assert all(b <= a + 1e-9 for a, b in zip(result.energy_history, result.energy_history[1:]))
+
+    def test_at_least_as_good_as_plain_annealing_typically(self):
+        graph = erdos_renyi(30, 0.3, seed=2)
+        pt = parallel_tempering(graph, n_replicas=6, n_sweeps=120, seed=3)
+        sa = simulated_annealing_maxcut(graph, AnnealingSchedule(n_sweeps=120), seed=3)
+        assert pt.best_cut.weight >= 0.95 * sa.weight
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValidationError):
+            parallel_tempering(triangle, n_replicas=1)
+        with pytest.raises(ValidationError):
+            parallel_tempering(triangle, t_min=2.0, t_max=1.0)
+        with pytest.raises(ValidationError):
+            parallel_tempering(triangle, n_sweeps=0)
+
+    def test_empty_graph(self, empty_graph):
+        result = parallel_tempering(empty_graph, n_replicas=3, n_sweeps=5, seed=4)
+        assert result.best_cut.weight == 0.0

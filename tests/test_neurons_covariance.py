@@ -1,0 +1,103 @@
+"""Tests for repro.neurons.covariance."""
+
+import numpy as np
+import pytest
+
+from repro.neurons.covariance import (
+    correlation_from_covariance,
+    covariance_from_weights,
+    empirical_covariance,
+    theoretical_membrane_covariance,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestCovarianceFromWeights:
+    def test_default_fair_coin(self, rng):
+        W = rng.standard_normal((5, 3))
+        cov = covariance_from_weights(W)
+        np.testing.assert_allclose(cov, 0.25 * W @ W.T, atol=1e-12)
+
+    def test_custom_device_covariance(self, rng):
+        W = rng.standard_normal((4, 2))
+        sigma = np.array([[0.3, 0.1], [0.1, 0.2]])
+        cov = covariance_from_weights(W, sigma)
+        np.testing.assert_allclose(cov, W @ sigma @ W.T, atol=1e-12)
+
+    def test_gain(self, rng):
+        W = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            covariance_from_weights(W, gain=4.0), 4.0 * covariance_from_weights(W)
+        )
+
+    def test_psd(self, rng):
+        W = rng.standard_normal((8, 4))
+        eigenvalues = np.linalg.eigvalsh(covariance_from_weights(W))
+        assert eigenvalues.min() >= -1e-10
+
+    def test_symmetric(self, rng):
+        cov = covariance_from_weights(rng.standard_normal((6, 3)))
+        np.testing.assert_allclose(cov, cov.T)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            covariance_from_weights(np.ones(3))
+        with pytest.raises(ValidationError):
+            covariance_from_weights(np.ones((3, 2)), np.eye(3))
+
+    def test_asymmetric_device_covariance_rejected(self):
+        with pytest.raises(ValidationError):
+            covariance_from_weights(np.ones((2, 2)), np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+
+class TestTheoreticalMembraneCovariance:
+    def test_rc_scaling(self, rng):
+        W = rng.standard_normal((4, 2))
+        cov = theoretical_membrane_covariance(W, resistance=20.0, capacitance=2.0)
+        np.testing.assert_allclose(cov, 10.0 * 0.25 * W @ W.T)
+
+    def test_invalid_rc(self):
+        with pytest.raises(ValidationError):
+            theoretical_membrane_covariance(np.ones((2, 2)), resistance=0.0)
+
+
+class TestEmpiricalCovariance:
+    def test_matches_numpy(self, rng):
+        samples = rng.standard_normal((500, 4))
+        np.testing.assert_allclose(
+            empirical_covariance(samples), np.cov(samples, rowvar=False)
+        )
+
+    def test_single_variable_2d(self, rng):
+        cov = empirical_covariance(rng.standard_normal((100, 1)))
+        assert cov.shape == (1, 1)
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValidationError):
+            empirical_covariance(rng.standard_normal((1, 3)))
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValidationError):
+            empirical_covariance(rng.standard_normal(10))
+
+
+class TestCorrelationFromCovariance:
+    def test_unit_diagonal(self, rng):
+        W = rng.standard_normal((5, 3))
+        corr = correlation_from_covariance(covariance_from_weights(W))
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_bounded(self, rng):
+        W = rng.standard_normal((6, 3))
+        corr = correlation_from_covariance(covariance_from_weights(W))
+        assert np.all(np.abs(corr) <= 1.0 + 1e-9)
+
+    def test_zero_variance_row_handled(self):
+        cov = np.array([[0.0, 0.0], [0.0, 2.0]])
+        corr = correlation_from_covariance(cov)
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            correlation_from_covariance(np.array([[1.0, 0.5], [0.0, 1.0]]))

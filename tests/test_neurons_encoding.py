@@ -1,0 +1,46 @@
+"""Tests for spike/membrane-to-cut encoding."""
+
+import numpy as np
+import pytest
+
+from repro.neurons.encoding import membrane_sign_assignments, spikes_to_assignments
+from repro.utils.validation import ValidationError
+
+
+class TestSpikesToAssignments:
+    def test_mapping(self):
+        spikes = np.array([[True, False], [False, True]])
+        out = spikes_to_assignments(spikes)
+        np.testing.assert_array_equal(out, [[1, -1], [-1, 1]])
+
+    def test_dtype(self):
+        out = spikes_to_assignments(np.zeros((3, 4), dtype=bool))
+        assert out.dtype == np.int8
+
+    def test_accepts_int_raster(self):
+        out = spikes_to_assignments(np.array([[1, 0], [0, 0]]))
+        np.testing.assert_array_equal(out, [[1, -1], [-1, -1]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            spikes_to_assignments(np.zeros(4, dtype=bool))
+
+
+class TestMembraneSignAssignments:
+    def test_threshold_zero(self):
+        potentials = np.array([[0.5, -0.1], [0.0, 2.0]])
+        out = membrane_sign_assignments(potentials)
+        np.testing.assert_array_equal(out, [[1, -1], [-1, 1]])
+
+    def test_custom_threshold(self):
+        potentials = np.array([[0.5, 1.5]])
+        out = membrane_sign_assignments(potentials, threshold=1.0)
+        np.testing.assert_array_equal(out, [[-1, 1]])
+
+    def test_rejects_nonfinite_threshold(self):
+        with pytest.raises(ValidationError):
+            membrane_sign_assignments(np.zeros((1, 2)), threshold=float("inf"))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            membrane_sign_assignments(np.zeros(3))

@@ -1,0 +1,192 @@
+"""Tests for the LIF neuron population."""
+
+import numpy as np
+import pytest
+
+from repro.devices.bernoulli import FairCoinPool
+from repro.neurons.lif import LIFParameters, LIFPopulation
+from repro.utils.validation import ValidationError
+
+
+class TestLIFParameters:
+    def test_defaults_valid(self):
+        params = LIFParameters()
+        assert params.time_constant == pytest.approx(10.0)
+        assert 0.0 < params.leak_factor < 1.0
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(ValidationError):
+            LIFParameters(capacitance=0.0)
+
+    def test_invalid_resistance(self):
+        with pytest.raises(ValidationError):
+            LIFParameters(resistance=-1.0)
+
+    def test_dt_stability_check(self):
+        with pytest.raises(ValidationError):
+            LIFParameters(resistance=1.0, capacitance=1.0, dt=3.0)
+
+    def test_nan_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            LIFParameters(threshold=float("nan"))
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        weights = rng.standard_normal((5, 3))
+        pop = LIFPopulation(weights)
+        assert pop.n_neurons == 5
+        assert pop.n_devices == 3
+
+    def test_weights_copy(self, rng):
+        weights = rng.standard_normal((4, 2))
+        pop = LIFPopulation(weights)
+        w = pop.weights
+        w[0, 0] = 99.0
+        assert pop.weights[0, 0] != 99.0
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(ValidationError):
+            LIFPopulation(np.ones(4))
+
+    def test_rejects_nan_weights(self):
+        with pytest.raises(ValidationError):
+            LIFPopulation(np.array([[1.0, np.nan]]))
+
+    def test_initial_state_zero(self, rng):
+        pop = LIFPopulation(rng.standard_normal((3, 2)))
+        np.testing.assert_array_equal(pop.state.potentials, 0.0)
+
+
+class TestDynamics:
+    def test_step_shape(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        spikes = pop.step(np.array([1, 0, 1, 0]))
+        assert spikes.shape == (6,)
+        assert spikes.dtype == bool
+
+    def test_step_wrong_shape_raises(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        with pytest.raises(ValidationError):
+            pop.step(np.array([1, 0]))
+
+    def test_run_spike_shape(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        states = FairCoinPool(4, seed=1).sample(100)
+        out = pop.run(states)
+        assert out["spikes"].shape == (100, 6)
+
+    def test_run_with_burn_in(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        states = FairCoinPool(4, seed=2).sample(100)
+        out = pop.run(states, burn_in=30)
+        assert out["spikes"].shape == (70, 6)
+
+    def test_run_record_potentials(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        states = FairCoinPool(4, seed=3).sample(50)
+        out = pop.run(states, record_potentials=True)
+        assert out["potentials"].shape == (50, 6)
+
+    def test_run_wrong_width_raises(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        with pytest.raises(ValidationError):
+            pop.run(np.zeros((10, 3), dtype=np.int8))
+
+    def test_negative_burn_in_raises(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        with pytest.raises(ValidationError):
+            pop.run(np.zeros((10, 4), dtype=np.int8), burn_in=-1)
+
+    def test_reset(self, rng):
+        pop = LIFPopulation(rng.standard_normal((6, 4)))
+        pop.run(FairCoinPool(4, seed=4).sample(50))
+        pop.reset()
+        np.testing.assert_array_equal(pop.state.potentials, 0.0)
+
+    def test_reset_potential_after_spike(self):
+        # Single neuron with huge positive weight so the first active input spikes it.
+        params = LIFParameters(threshold=0.1, reset_potential=0.0, dt=0.5, input_offset=0.0)
+        pop = LIFPopulation(np.array([[100.0]]), params=params)
+        spikes = pop.step(np.array([1]))
+        assert spikes[0]
+        assert pop.state.potentials[0] == params.reset_potential
+
+    def test_no_input_no_spikes(self):
+        params = LIFParameters(input_offset=0.0)
+        pop = LIFPopulation(np.ones((3, 2)), params=params)
+        out = pop.run(np.zeros((20, 2), dtype=np.int8))
+        assert not out["spikes"].any()
+
+    def test_subthreshold_no_reset(self, rng):
+        weights = rng.standard_normal((4, 3))
+        pop = LIFPopulation(weights)
+        trajectory = pop.run_subthreshold(FairCoinPool(3, seed=5).sample(200))
+        assert trajectory.shape == (200, 4)
+        # potentials may exceed the threshold since spiking is disabled
+        assert np.isfinite(trajectory).all()
+
+    def test_subthreshold_burn_in(self, rng):
+        pop = LIFPopulation(rng.standard_normal((4, 3)))
+        trajectory = pop.run_subthreshold(FairCoinPool(3, seed=6).sample(100), burn_in=40)
+        assert trajectory.shape == (60, 4)
+
+
+class TestStationaryStatistics:
+    def test_centred_input_zero_mean(self):
+        """With input_offset=0.5 and fair coins the membrane mean is near zero.
+
+        The membrane is a strongly autocorrelated AR(1) process (correlation
+        time tau/dt = 100 steps), so the empirical mean is compared against the
+        per-neuron stationary standard deviation rather than an absolute bound,
+        and contrasted with the clearly non-zero mean of the uncentred case.
+        """
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((10, 6))
+        centred = LIFPopulation(weights)
+        trajectory = centred.run_subthreshold(FairCoinPool(6, seed=7).sample(8000), burn_in=500)
+        std = trajectory.std(axis=0)
+        assert np.all(np.abs(trajectory.mean(axis=0)) < 0.75 * std)
+
+        uncentred = LIFPopulation(weights, params=LIFParameters(input_offset=0.0))
+        drifted = uncentred.run_subthreshold(FairCoinPool(6, seed=7).sample(4000), burn_in=500)
+        # the uncentred means are dominated by the DC drive R * <I>
+        assert np.abs(drifted.mean(axis=0)).max() > np.abs(trajectory.mean(axis=0)).max()
+
+    def test_membrane_variance_scales_with_weights(self):
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal((5, 4))
+        pop1 = LIFPopulation(base)
+        pop2 = LIFPopulation(2.0 * base)
+        states = FairCoinPool(4, seed=8).sample(4000)
+        var1 = pop1.run_subthreshold(states.copy(), burn_in=200).var(axis=0)
+        var2 = pop2.run_subthreshold(states.copy(), burn_in=200).var(axis=0)
+        ratio = var2 / np.clip(var1, 1e-12, None)
+        # doubling weights quadruples the variance
+        assert np.all(ratio > 2.5) and np.all(ratio < 6.0)
+
+    def test_theoretical_covariance_shape(self, rng):
+        pop = LIFPopulation(rng.standard_normal((7, 3)))
+        cov = pop.theoretical_covariance()
+        assert cov.shape == (7, 7)
+        np.testing.assert_allclose(cov, cov.T)
+
+    def test_theoretical_covariance_custom_device_cov(self, rng):
+        pop = LIFPopulation(rng.standard_normal((4, 2)))
+        with pytest.raises(ValidationError):
+            pop.theoretical_covariance(np.eye(3))
+
+    def test_empirical_correlation_matches_gram_structure(self):
+        """Correlation of subthreshold membranes ~ correlation implied by W W^T."""
+        rng = np.random.default_rng(3)
+        n, r = 6, 4
+        weights = rng.standard_normal((n, r))
+        pop = LIFPopulation(weights)
+        trajectory = pop.run_subthreshold(FairCoinPool(r, seed=9).sample(20000), burn_in=1000)
+        empirical = np.corrcoef(trajectory, rowvar=False)
+        gram = weights @ weights.T
+        d = np.sqrt(np.diag(gram))
+        theoretical = gram / np.outer(d, d)
+        # The membrane potential is an AR(1)-filtered version of the same input mix,
+        # so cross-neuron correlations match the Gram-matrix correlations.
+        assert np.max(np.abs(empirical - theoretical)) < 0.12

@@ -1,0 +1,96 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.plotting.ascii import ascii_histogram, ascii_line_plot, render_curves
+from repro.utils.validation import ValidationError
+
+
+class TestAsciiLinePlot:
+    def test_basic_render(self):
+        x = np.arange(1, 11)
+        text = ascii_line_plot(x, {"a": x * 1.0, "b": x * 2.0}, width=30, height=8, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        # 8 data rows + axis + labels + legend
+        assert len(lines) == 1 + 8 + 3
+        assert "a" in lines[-1] and "b" in lines[-1]
+
+    def test_symbols_present(self):
+        x = [1, 2, 3]
+        text = ascii_line_plot(x, {"one": [1, 2, 3]}, width=20, height=5)
+        assert "o" in text  # first series symbol
+
+    def test_log_x(self):
+        x = [1, 10, 100, 1000]
+        text = ascii_line_plot(x, {"curve": [0.1, 0.5, 0.8, 1.0]}, log_x=True)
+        assert "(log x)" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([0, 1], {"c": [1, 2]}, log_x=True)
+
+    def test_flat_series_handled(self):
+        text = ascii_line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([1, 2], {"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_x_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([1, 2, 3], {"a": [1, 2]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([1], {})
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([1, 2], {"a": [1, 2]}, width=5, height=2)
+
+    def test_custom_y_range(self):
+        text = ascii_line_plot([1, 2], {"a": [0.2, 0.8]}, y_range=(0.0, 1.0))
+        assert "1.000" in text
+
+    def test_invalid_y_range(self):
+        with pytest.raises(ValidationError):
+            ascii_line_plot([1, 2], {"a": [1, 2]}, y_range=(1.0, 1.0))
+
+
+class TestAsciiHistogram:
+    def test_basic(self):
+        values = np.concatenate([np.zeros(50), np.ones(10)])
+        text = ascii_histogram(values, n_bins=2, width=20, title="hist")
+        lines = text.splitlines()
+        assert lines[0] == "hist"
+        assert len(lines) == 3
+        assert "#" in text
+
+    def test_counts_shown(self):
+        text = ascii_histogram([1.0, 1.0, 2.0], n_bins=2)
+        assert "2" in text and "1" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ascii_histogram([])
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValidationError):
+            ascii_histogram([1.0], n_bins=0)
+
+
+class TestRenderCurves:
+    def test_paper_style_curves(self):
+        counts = np.array([1, 10, 100, 1000])
+        curves = {
+            "lif_gw": [0.98, 0.99, 1.0, 1.0],
+            "lif_tr": [0.6, 0.7, 0.8, 0.9],
+            "random": [0.65, 0.75, 0.8, 0.82],
+        }
+        text = render_curves(counts, curves, title="G(50, 0.1)")
+        assert "G(50, 0.1)" in text
+        assert "lif_gw" in text and "lif_tr" in text
+        assert "(log x)" in text

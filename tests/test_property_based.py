@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cuts.cut import Cut, cut_weight, cut_weights_batch, running_best_cuts
+from repro.cuts.local_search import greedy_improve
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
+from repro.neurons.covariance import covariance_from_weights
+from repro.neurons.plasticity import anti_hebbian_oja_update, oja_update
+from repro.sdp.manifold import project_rows_to_sphere, retract, tangent_project
+from repro.analysis.convergence import running_best, sample_points_log_spaced
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_graphs(draw):
+    """Random small graphs (3-12 vertices) with arbitrary edge subsets."""
+    n = draw(st.integers(min_value=3, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+    return Graph(n, edges)
+
+
+@st.composite
+def graph_with_assignment(draw):
+    graph = draw(small_graphs())
+    bits = draw(
+        st.lists(st.sampled_from([-1, 1]), min_size=graph.n_vertices, max_size=graph.n_vertices)
+    )
+    return graph, np.array(bits, dtype=np.int8)
+
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------------------
+# Cut invariants
+# ---------------------------------------------------------------------------
+
+class TestCutProperties:
+    @SETTINGS
+    @given(graph_with_assignment())
+    def test_cut_weight_bounds(self, data):
+        graph, assignment = data
+        weight = cut_weight(graph, assignment)
+        assert 0.0 <= weight <= graph.total_weight
+
+    @SETTINGS
+    @given(graph_with_assignment())
+    def test_complement_invariance(self, data):
+        graph, assignment = data
+        assert cut_weight(graph, assignment) == cut_weight(graph, -assignment)
+
+    @SETTINGS
+    @given(graph_with_assignment())
+    def test_batch_matches_single(self, data):
+        graph, assignment = data
+        batch = cut_weights_batch(graph, assignment[None, :])
+        assert batch[0] == cut_weight(graph, assignment)
+
+    @SETTINGS
+    @given(graph_with_assignment())
+    def test_local_search_never_decreases(self, data):
+        graph, assignment = data
+        improved = greedy_improve(graph, assignment)
+        assert improved.weight >= cut_weight(graph, assignment) - 1e-9
+
+    @SETTINGS
+    @given(graph_with_assignment())
+    def test_all_same_label_is_zero_cut(self, data):
+        graph, _ = data
+        assert cut_weight(graph, np.ones(graph.n_vertices, dtype=np.int8)) == 0.0
+
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_running_best_monotone_and_dominating(self, weights):
+        arr = np.array(weights)
+        best = running_best_cuts(arr)
+        assert np.all(np.diff(best) >= 0)
+        assert np.all(best >= arr)
+        assert best[-1] == arr.max()
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+class TestGraphProperties:
+    @SETTINGS
+    @given(small_graphs())
+    def test_adjacency_symmetric_nonnegative_diagonal_zero(self, graph):
+        A = graph.adjacency()
+        assert np.allclose(A, A.T)
+        assert np.all(np.diag(A) == 0)
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert graph.degrees().sum() == 2 * graph.n_edges
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_normalized_adjacency_spectrum_in_unit_interval(self, graph):
+        eigenvalues = np.linalg.eigvalsh(graph.normalized_adjacency())
+        assert eigenvalues.min() >= -1.0 - 1e-8
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    @SETTINGS
+    @given(small_graphs())
+    def test_laplacian_psd(self, graph):
+        eigenvalues = np.linalg.eigvalsh(graph.laplacian())
+        assert eigenvalues.min() >= -1e-8
+
+    @SETTINGS
+    @given(st.integers(min_value=2, max_value=20), st.floats(min_value=0, max_value=1), st.integers(0, 2**16))
+    def test_erdos_renyi_edge_bounds(self, n, p, seed):
+        graph = erdos_renyi(n, p, seed=seed)
+        assert 0 <= graph.n_edges <= n * (n - 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Oblique manifold invariants
+# ---------------------------------------------------------------------------
+
+class TestManifoldProperties:
+    @SETTINGS
+    @given(hnp.arrays(np.float64, (6, 3), elements=finite_floats))
+    def test_projection_gives_unit_rows(self, W):
+        P = project_rows_to_sphere(W)
+        np.testing.assert_allclose(np.linalg.norm(P, axis=1), 1.0, atol=1e-9)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (5, 3), elements=finite_floats),
+        hnp.arrays(np.float64, (5, 3), elements=finite_floats),
+    )
+    def test_tangent_projection_orthogonal(self, W, G):
+        W = project_rows_to_sphere(W)
+        T = tangent_project(W, G)
+        np.testing.assert_allclose(np.sum(T * W, axis=1), 0.0, atol=1e-8)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (5, 3), elements=finite_floats),
+        hnp.arrays(np.float64, (5, 3), elements=finite_floats),
+    )
+    def test_retraction_stays_on_manifold(self, W, step):
+        W = project_rows_to_sphere(W)
+        R = retract(W, step)
+        np.testing.assert_allclose(np.linalg.norm(R, axis=1), 1.0, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Covariance / plasticity invariants
+# ---------------------------------------------------------------------------
+
+class TestNeuronProperties:
+    @SETTINGS
+    @given(hnp.arrays(np.float64, (6, 4), elements=finite_floats))
+    def test_membrane_covariance_psd_symmetric(self, W):
+        cov = covariance_from_weights(W)
+        assert np.allclose(cov, cov.T)
+        assert np.linalg.eigvalsh(cov).min() >= -1e-8
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (5,), elements=finite_floats),
+        hnp.arrays(np.float64, (5,), elements=finite_floats),
+        st.floats(min_value=1e-4, max_value=0.1),
+    )
+    def test_oja_update_finite(self, w, x, eta):
+        out = oja_update(w, x, eta)
+        assert np.all(np.isfinite(out))
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (5,), elements=finite_floats),
+        hnp.arrays(np.float64, (5,), elements=finite_floats),
+        st.floats(min_value=1e-4, max_value=0.1),
+    )
+    def test_anti_hebbian_update_finite(self, w, x, eta):
+        out = anti_hebbian_oja_update(w, x, eta)
+        assert np.all(np.isfinite(out))
+
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            (4,),
+            elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        )
+    )
+    def test_anti_hebbian_zero_input_pushes_norm_toward_one(self, w):
+        # With x = 0 the update is eta * (1 - ||w||^2) w, so for small learning
+        # rates (where the discrete step cannot overshoot) the norm moves toward 1.
+        norm_before = np.linalg.norm(w)
+        out = anti_hebbian_oja_update(w, np.zeros(4), 0.01)
+        norm_after = np.linalg.norm(out)
+        if norm_before > 1.0:
+            assert norm_after <= norm_before + 1e-12
+        elif norm_before > 0:
+            assert norm_after >= norm_before - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Analysis invariants
+# ---------------------------------------------------------------------------
+
+class TestAnalysisProperties:
+    @SETTINGS
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_running_best_idempotent(self, values):
+        arr = np.array(values)
+        once = running_best(arr)
+        twice = running_best(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=100_000), st.integers(min_value=1, max_value=50))
+    def test_sample_points_valid(self, n_samples, n_points):
+        points = sample_points_log_spaced(n_samples, n_points)
+        assert points[0] >= 1
+        assert points[-1] == n_samples
+        assert np.all(np.diff(points) > 0)

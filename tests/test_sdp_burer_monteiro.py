@@ -1,0 +1,122 @@
+"""Tests for the Burer-Monteiro MAXCUT SDP solver."""
+
+import numpy as np
+import pytest
+
+from repro.cuts.exact import exact_maxcut_value
+from repro.graphs.generators import complete_bipartite, complete_graph, cycle_graph, erdos_renyi
+from repro.graphs.graph import Graph
+from repro.sdp.burer_monteiro import sdp_objective, solve_maxcut_sdp
+from repro.sdp.manifold import is_on_manifold
+from repro.utils.validation import ValidationError
+
+
+class TestObjective:
+    def test_zero_for_identical_vectors(self, triangle):
+        W = np.tile(np.array([1.0, 0.0]), (3, 1))
+        assert sdp_objective(triangle, W) == pytest.approx(0.0)
+
+    def test_full_cut_for_antipodal_bipartite(self, small_bipartite):
+        n_left = 3
+        W = np.zeros((small_bipartite.n_vertices, 2))
+        W[:n_left, 0] = 1.0
+        W[n_left:, 0] = -1.0
+        assert sdp_objective(small_bipartite, W) == pytest.approx(
+            small_bipartite.total_weight
+        )
+
+    def test_matches_cut_value_for_spin_embedding(self, small_er_graph, rng):
+        from repro.cuts.cut import cut_weight
+
+        v = np.where(rng.random(small_er_graph.n_vertices) < 0.5, 1.0, -1.0)
+        W = np.zeros((small_er_graph.n_vertices, 3))
+        W[:, 0] = v
+        assert sdp_objective(small_er_graph, W) == pytest.approx(
+            cut_weight(small_er_graph, v.astype(int))
+        )
+
+    def test_wrong_shape_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            sdp_objective(triangle, np.ones((5, 2)))
+
+    def test_empty_graph(self, empty_graph):
+        assert sdp_objective(empty_graph, np.ones((5, 2))) == 0.0
+
+
+class TestSolver:
+    def test_result_on_manifold(self, small_er_graph):
+        result = solve_maxcut_sdp(small_er_graph, rank=4, seed=0)
+        assert is_on_manifold(result.vectors)
+
+    def test_objective_history_monotone(self, small_er_graph):
+        result = solve_maxcut_sdp(small_er_graph, rank=4, seed=0)
+        history = np.array(result.objective_history)
+        assert np.all(np.diff(history) >= -1e-9)
+
+    def test_objective_upper_bounds_maxcut(self, small_er_graph):
+        # with a generous rank the BM solution reaches the SDP optimum >= OPT
+        opt = exact_maxcut_value(small_er_graph)
+        result = solve_maxcut_sdp(small_er_graph, rank=8, seed=1)
+        assert result.objective >= opt - 1e-6
+
+    def test_bipartite_reaches_total_weight(self, small_bipartite):
+        result = solve_maxcut_sdp(small_bipartite, rank=4, seed=2)
+        assert result.objective == pytest.approx(small_bipartite.total_weight, rel=1e-3)
+
+    def test_triangle_sdp_value(self, triangle):
+        # SDP value of K3 is 9/4 (vectors at 120 degrees)
+        result = solve_maxcut_sdp(triangle, rank=3, seed=3)
+        assert result.objective == pytest.approx(2.25, abs=1e-3)
+
+    def test_five_cycle_sdp_value(self, five_cycle):
+        # SDP value of C5 is (5/2)(1 + cos(pi/5)) ~ 4.5225
+        result = solve_maxcut_sdp(five_cycle, rank=4, seed=4)
+        expected = 2.5 * (1.0 + np.cos(np.pi / 5.0))
+        assert result.objective == pytest.approx(expected, abs=1e-2)
+
+    def test_gram_matrix_unit_diagonal_psd(self, small_er_graph):
+        result = solve_maxcut_sdp(small_er_graph, rank=5, seed=5)
+        X = result.gram_matrix
+        np.testing.assert_allclose(np.diag(X), 1.0, atol=1e-9)
+        eigenvalues = np.linalg.eigvalsh(X)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_warm_start(self, small_er_graph):
+        first = solve_maxcut_sdp(small_er_graph, rank=4, seed=6, max_iterations=20)
+        warm = solve_maxcut_sdp(
+            small_er_graph, rank=4, initial_vectors=first.vectors, max_iterations=500
+        )
+        assert warm.objective >= first.objective - 1e-9
+
+    def test_warm_start_wrong_shape_raises(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            solve_maxcut_sdp(small_er_graph, rank=4, initial_vectors=np.ones((3, 4)))
+
+    def test_invalid_rank_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            solve_maxcut_sdp(triangle, rank=0)
+
+    def test_negative_iterations_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            solve_maxcut_sdp(triangle, max_iterations=-1)
+
+    def test_empty_graph_short_circuit(self, empty_graph):
+        result = solve_maxcut_sdp(empty_graph, rank=3)
+        assert result.objective == 0.0
+        assert result.converged
+
+    def test_zero_iterations(self, small_er_graph):
+        result = solve_maxcut_sdp(small_er_graph, rank=4, max_iterations=0, seed=1)
+        assert result.n_iterations == 0
+
+    def test_reproducible_given_seed(self, small_er_graph):
+        a = solve_maxcut_sdp(small_er_graph, rank=4, seed=42)
+        b = solve_maxcut_sdp(small_er_graph, rank=4, seed=42)
+        np.testing.assert_allclose(a.vectors, b.vectors)
+
+    def test_rank4_close_to_high_rank(self):
+        # the paper fixes rank 4; on modest graphs that already matches the SDP value
+        g = erdos_renyi(25, 0.4, seed=7)
+        low = solve_maxcut_sdp(g, rank=4, seed=8).objective
+        high = solve_maxcut_sdp(g, rank=10, seed=9).objective
+        assert low >= 0.97 * high

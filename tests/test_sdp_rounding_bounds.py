@@ -1,0 +1,94 @@
+"""Tests for SDP rounding schemes and MAXCUT upper bounds."""
+
+import numpy as np
+import pytest
+
+from repro.cuts.exact import exact_maxcut_value
+from repro.graphs.generators import complete_bipartite, complete_graph, cycle_graph, erdos_renyi
+from repro.sdp.bounds import sdp_upper_bound, spectral_upper_bound, trivial_upper_bound
+from repro.sdp.burer_monteiro import solve_maxcut_sdp
+from repro.sdp.rounding import best_hyperplane_cut, gaussian_rounding, hyperplane_rounding
+from repro.utils.validation import ValidationError
+
+
+class TestHyperplaneRounding:
+    def test_shapes(self, small_er_graph):
+        sdp = solve_maxcut_sdp(small_er_graph, rank=4, seed=0)
+        assignments, weights = hyperplane_rounding(small_er_graph, sdp.vectors, 16, seed=1)
+        assert assignments.shape == (16, small_er_graph.n_vertices)
+        assert weights.shape == (16,)
+        assert set(np.unique(assignments)).issubset({-1, 1})
+
+    def test_antipodal_vectors_give_full_bipartite_cut(self, small_bipartite):
+        W = np.zeros((small_bipartite.n_vertices, 2))
+        W[:3, 0] = 1.0
+        W[3:, 0] = -1.0
+        _, weights = hyperplane_rounding(small_bipartite, W, 8, seed=2)
+        np.testing.assert_allclose(weights, small_bipartite.total_weight)
+
+    def test_gw_expectation_bound(self):
+        # E[cut] >= 0.878 * SDP objective (statistically, with margin)
+        g = erdos_renyi(20, 0.4, seed=3)
+        sdp = solve_maxcut_sdp(g, rank=7, seed=4)
+        _, weights = hyperplane_rounding(g, sdp.vectors, 500, seed=5)
+        assert weights.mean() >= 0.83 * sdp.objective
+
+    def test_best_cut_below_optimum(self, small_er_graph):
+        sdp = solve_maxcut_sdp(small_er_graph, rank=6, seed=6)
+        best = best_hyperplane_cut(small_er_graph, sdp.vectors, 200, seed=7)
+        assert best.weight <= exact_maxcut_value(small_er_graph) + 1e-9
+
+    def test_gaussian_equals_hyperplane_distributionally(self, small_er_graph):
+        sdp = solve_maxcut_sdp(small_er_graph, rank=4, seed=8)
+        _, w1 = hyperplane_rounding(small_er_graph, sdp.vectors, 400, seed=9)
+        _, w2 = gaussian_rounding(small_er_graph, sdp.vectors, 400, seed=10)
+        # same distribution: means within a few standard errors
+        assert abs(w1.mean() - w2.mean()) < 4 * (w1.std() / np.sqrt(400) + w2.std() / np.sqrt(400))
+
+    def test_wrong_vector_shape_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            hyperplane_rounding(triangle, np.ones((5, 2)), 4)
+
+    def test_negative_samples_raises(self, triangle):
+        with pytest.raises(ValidationError):
+            hyperplane_rounding(triangle, np.ones((3, 2)), -1)
+
+    def test_zero_samples(self, triangle):
+        assignments, weights = hyperplane_rounding(triangle, np.ones((3, 2)), 0)
+        assert weights.shape == (0,)
+
+    def test_best_requires_positive_samples(self, triangle):
+        with pytest.raises(ValidationError):
+            best_hyperplane_cut(triangle, np.ones((3, 2)), 0)
+
+    def test_reproducible(self, small_er_graph):
+        sdp = solve_maxcut_sdp(small_er_graph, rank=4, seed=11)
+        a = hyperplane_rounding(small_er_graph, sdp.vectors, 10, seed=12)[1]
+        b = hyperplane_rounding(small_er_graph, sdp.vectors, 10, seed=12)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBounds:
+    def test_trivial_bound(self, small_er_graph):
+        assert trivial_upper_bound(small_er_graph) == small_er_graph.total_weight
+
+    def test_spectral_bound_above_optimum(self, small_er_graph):
+        assert spectral_upper_bound(small_er_graph) >= exact_maxcut_value(small_er_graph) - 1e-9
+
+    def test_spectral_bound_at_most_trivial(self, small_er_graph):
+        assert spectral_upper_bound(small_er_graph) <= trivial_upper_bound(small_er_graph)
+
+    def test_spectral_bound_tight_for_bipartite(self, square_cycle):
+        assert spectral_upper_bound(square_cycle) == pytest.approx(4.0)
+
+    def test_sdp_bound_above_optimum(self, small_er_graph):
+        assert sdp_upper_bound(small_er_graph, seed=0) >= exact_maxcut_value(small_er_graph) - 1e-6
+
+    def test_sdp_bound_empty_graph(self, empty_graph):
+        assert sdp_upper_bound(empty_graph) == 0.0
+
+    def test_spectral_bound_empty_graph(self, empty_graph):
+        assert spectral_upper_bound(empty_graph) == 0.0
+
+    def test_spectral_bound_tiny_graph(self, triangle):
+        assert spectral_upper_bound(triangle) >= 2.0

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.timers and repro.utils.logging."""
+
+import logging
+import time
+
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.timers import Timer, time_call, timed
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        assert t.elapsed > 0.0
+        assert t.n_intervals == 1
+
+    def test_multiple_intervals(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert t.n_intervals == 3
+        assert t.mean_interval >= 0.0
+
+    def test_start_twice_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.n_intervals == 0
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+    def test_mean_interval_zero_when_empty(self):
+        assert Timer().mean_interval == 0.0
+
+
+class TestTimedAndTimeCall:
+    def test_timed_records_key(self):
+        store = {}
+        with timed(store, "phase"):
+            pass
+        assert "phase" in store and store["phase"] >= 0.0
+
+    def test_timed_accumulates(self):
+        store = {}
+        for _ in range(2):
+            with timed(store, "phase"):
+                pass
+        assert store["phase"] >= 0.0
+
+    def test_time_call_returns_result(self):
+        result, elapsed = time_call(lambda: 7)
+        assert result == 7
+        assert elapsed >= 0.0
+
+
+class TestLogging:
+    def test_get_logger_namespace(self):
+        assert get_logger("sdp").name == "repro.sdp"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.circuits").name == "repro.circuits"
+
+    def test_configure_logging_idempotent(self):
+        logger = configure_logging(level=logging.WARNING)
+        n_handlers = len(logger.handlers)
+        logger2 = configure_logging(level=logging.WARNING)
+        assert len(logger2.handlers) == n_handlers

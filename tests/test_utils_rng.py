@@ -1,0 +1,116 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, SeedStream, as_generator, random_bits, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_streams_are_independent(self):
+        g0, g1 = spawn_generators(123, 2)
+        assert not np.array_equal(g0.random(10), g1.random(10))
+
+    def test_reproducible_from_int(self):
+        a = [g.random(3) for g in spawn_generators(9, 3)]
+        b = [g.random(3) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_streams(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+    def test_from_generator_is_deterministic_given_state(self):
+        g = np.random.default_rng(5)
+        children_a = [c.random(2) for c in spawn_generators(g, 2)]
+        g2 = np.random.default_rng(5)
+        children_b = [c.random(2) for c in spawn_generators(g2, 2)]
+        for x, y in zip(children_a, children_b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSeedStream:
+    def test_same_index_same_stream(self):
+        stream = SeedStream(77)
+        a = stream.generator_for(3).random(4)
+        b = SeedStream(77).generator_for(3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_indices_differ(self):
+        stream = SeedStream(77)
+        a = stream.generator_for(0).random(4)
+        b = stream.generator_for(1).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        stream = SeedStream(5)
+        late_first = stream.generator_for(9).random(3)
+        other = SeedStream(5)
+        _ = other.generator_for(0).random(3)
+        late_second = other.generator_for(9).random(3)
+        np.testing.assert_array_equal(late_first, late_second)
+
+    def test_generators_list(self):
+        gens = SeedStream(1).generators(4)
+        assert len(gens) == 4
+
+    def test_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            SeedStream(1).child(-1)
+
+    def test_iter_generators(self):
+        it = SeedStream(3).iter_generators()
+        first = next(it)
+        second = next(it)
+        assert not np.array_equal(first.random(3), second.random(3))
+
+
+class TestRandomBits:
+    def test_shape_and_values(self):
+        bits = random_bits(np.random.default_rng(0), (10, 4))
+        assert bits.shape == (10, 4)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_scalar_shape(self):
+        bits = random_bits(np.random.default_rng(0), 16)
+        assert bits.shape == (16,)
+
+    def test_roughly_fair(self):
+        bits = random_bits(np.random.default_rng(1), 10_000)
+        assert 0.45 < bits.mean() < 0.55

@@ -1,0 +1,109 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    check_binary_vector,
+    check_finite,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_spin_vector,
+    check_square_matrix,
+    check_symmetric,
+    check_vector_length,
+)
+
+
+class TestScalarChecks:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid_probability(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_invalid_probability(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value)
+
+    def test_positive_ok(self):
+        assert check_positive(2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value)
+
+    def test_non_negative_ok(self):
+        assert check_non_negative(0.0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.001)
+
+    def test_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestMatrixChecks:
+    def test_square_ok(self):
+        m = np.eye(3)
+        assert check_square_matrix(m).shape == (3, 3)
+
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros((2, 3)))
+
+    def test_square_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros(4))
+
+    def test_symmetric_ok(self):
+        m = np.array([[1.0, 2.0], [2.0, 3.0]])
+        check_symmetric(m)
+
+    def test_symmetric_rejects(self):
+        with pytest.raises(ValidationError):
+            check_symmetric(np.array([[1.0, 2.0], [0.0, 3.0]]))
+
+    def test_finite_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.array([1.0, np.nan]))
+
+    def test_finite_ok(self):
+        check_finite(np.array([1.0, 2.0]))
+
+
+class TestVectorChecks:
+    def test_vector_length_ok(self):
+        v = check_vector_length(np.arange(4), 4)
+        assert v.shape == (4,)
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_vector_length(np.arange(4), 5)
+
+    def test_vector_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_vector_length(np.zeros((2, 2)))
+
+    def test_spin_vector_ok(self):
+        out = check_spin_vector(np.array([1, -1, 1]))
+        assert out.dtype == np.int8
+
+    def test_spin_vector_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_spin_vector(np.array([1, 0, -1]))
+
+    def test_spin_vector_rejects_other_values(self):
+        with pytest.raises(ValidationError):
+            check_spin_vector(np.array([2, -1]))
+
+    def test_binary_vector_ok(self):
+        out = check_binary_vector(np.array([0, 1, 1]))
+        assert out.dtype == np.int8
+
+    def test_binary_vector_rejects_spin(self):
+        with pytest.raises(ValidationError):
+            check_binary_vector(np.array([-1, 1]))
