@@ -62,6 +62,13 @@ from repro.circuits import (
     LIFTrevisanConfig,
     CircuitResult,
 )
+from repro.engine import (
+    BatchedSolverEngine,
+    EarlyStopConfig,
+    SolveRequest,
+    SolveResult,
+    sequential_solve,
+)
 from repro.algorithms import (
     goemans_williamson,
     trevisan_spectral,
@@ -120,6 +127,12 @@ __all__ = [
     "LIFGWConfig",
     "LIFTrevisanConfig",
     "CircuitResult",
+    # batched engine
+    "BatchedSolverEngine",
+    "EarlyStopConfig",
+    "SolveRequest",
+    "SolveResult",
+    "sequential_solve",
     # algorithms
     "goemans_williamson",
     "trevisan_spectral",

@@ -110,3 +110,49 @@ class NeuromorphicCircuit(abc.ABC):
     def solve(self, n_samples: int, seed: RandomState = None) -> Cut:
         """Convenience wrapper returning only the best cut found."""
         return self.sample_cuts(n_samples, seed=seed).best_cut
+
+    # ------------------------------------------------------------------
+    # Batched fast path (repro.engine)
+    # ------------------------------------------------------------------
+    def engine_plan(self):
+        """Describe how to run this circuit in batch (a ``BatchPlan``).
+
+        Circuits that support the trial-parallel engine override this; the
+        base implementation reports the circuit as sequential-only.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the batched engine"
+        )
+
+    def sample_cuts_batch(
+        self,
+        n_trials: int,
+        n_samples: int,
+        seed=None,
+        backend: str = "auto",
+        early_stop=None,
+        **request_options,
+    ):
+        """Opt-in fast path: run *n_trials* independent trials in batch.
+
+        With ``backend="dense"``/``"auto"`` (dense selected) and
+        ``early_stop=None``, trial *i* of the returned
+        :class:`repro.engine.SolveResult` is bit-identical to
+
+            self.sample_cuts(n_samples, seed=np.random.SeedSequence(seed, spawn_key=(i,)))
+
+        while integrating every trial's membranes together, one vectorised
+        update per time step.
+        """
+        from repro.engine import BatchedSolverEngine, SolveRequest
+
+        request = SolveRequest(
+            circuit=self,
+            n_trials=n_trials,
+            n_samples=n_samples,
+            seed=seed,
+            backend=backend,
+            early_stop=early_stop,
+            **request_options,
+        )
+        return BatchedSolverEngine().solve(request)

@@ -111,6 +111,32 @@ class LIFGWCircuit(NeuromorphicCircuit):
             )
         return pool
 
+    def engine_plan(self):
+        """Batch-execution recipe for :class:`repro.engine.BatchedSolverEngine`.
+
+        The GW weight matrix is a skinny ``(n, rank)`` array, so no sparse
+        weight builder is provided — the dense backend is always the right
+        choice and keeps the batched path bit-identical to
+        :meth:`sample_cuts` under matching per-trial seeds.
+        """
+        from repro.engine.plan import BatchPlan
+
+        config = self.config
+        return BatchPlan(
+            weights=self.weights,
+            lif=config.lif,
+            burn_in=config.burn_in_steps,
+            interval=config.sample_interval,
+            readout=config.readout,
+            n_devices=config.rank,
+            pool_builder=self.build_device_pool,
+            metadata={
+                "sdp_objective": self.sdp_result.objective,
+                "sdp_converged": self.sdp_result.converged,
+                "rank": config.rank,
+            },
+        )
+
     # ------------------------------------------------------------------
     def sample_cuts(self, n_samples: int, seed: RandomState = None) -> CircuitResult:
         """Run the circuit long enough to read out *n_samples* cuts."""

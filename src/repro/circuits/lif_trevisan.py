@@ -90,6 +90,50 @@ class LIFTrevisanCircuit(NeuromorphicCircuit):
             )
         return pool
 
+    def engine_plan(self):
+        """Batch-execution recipe for :class:`repro.engine.BatchedSolverEngine`.
+
+        The read-out is ``"plasticity"``: each trial owns an anti-Hebbian
+        learner (seeded exactly as the sequential path seeds it) that consumes
+        every post-burn-in membrane row.  A sparse Trevisan weight builder is
+        provided so the engine's ``auto`` backend can switch to CSR products
+        on large low-density graphs; it reuses the graph's cached CSR
+        adjacency rather than rebuilding it per call.
+        """
+        import scipy.sparse as sp
+
+        from repro.engine.plan import BatchPlan
+
+        config = self.config
+        n = self.graph.n_vertices
+
+        def build_learner(rng):
+            return AntiHebbianMinorComponent(
+                n_inputs=n,
+                learning_rate=config.learning_rate,
+                learning_rate_decay=config.learning_rate_decay,
+                normalize_inputs=config.normalize_plasticity_inputs,
+                seed=rng,
+            )
+
+        def sparse_weights():
+            return config.weight_scale * (
+                sp.identity(n, format="csr") + self.graph.to_csr(normalized=True)
+            )
+
+        return BatchPlan(
+            weights=self.weights,
+            lif=config.lif,
+            burn_in=config.burn_in_steps,
+            interval=config.sample_interval,
+            readout="plasticity",
+            n_devices=n,
+            pool_builder=self.build_device_pool,
+            plasticity_builder=build_learner,
+            sparse_weights=sparse_weights,
+            metadata={"learning_rate": config.learning_rate},
+        )
+
     # ------------------------------------------------------------------
     def sample_cuts(self, n_samples: int, seed: RandomState = None) -> CircuitResult:
         """Run the circuit, applying plasticity every step and reading out cuts.

@@ -3,14 +3,18 @@
 Commands
 --------
 solve       Run one solver (circuit or classical) on a graph and print the cut.
+engine      Run trial-parallel batched circuit simulation (repro.engine):
+            many independent trials of one circuit on one graph in a single
+            vectorised solve, with dense/sparse weight backends and optional
+            early stopping; ``--compare`` also times the sequential path.
 figure3     Run a (reduced) Figure 3 Erdős–Rényi sweep.
 figure4     Run Figure 4 panels on empirical graphs.
 table1      Regenerate Table I rows.
 ablation    Run the device-imperfection / rank / learning-rate ablations.
 graphs      List the empirical graphs in the Table I registry.
 
-Every command accepts ``--save results.json`` to persist results through
-:mod:`repro.experiments.runner`.
+The experiment commands and ``engine`` accept ``--save results.json`` to
+persist results through :mod:`repro.experiments.runner`.
 """
 
 from __future__ import annotations
@@ -79,6 +83,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Erdős–Rényi parameters used when --graph is not given")
     solve.add_argument("--samples", type=int, default=512)
 
+    # engine -----------------------------------------------------------------
+    engine = subparsers.add_parser(
+        "engine",
+        help="batched trial-parallel circuit simulation (repro.engine)",
+        description=(
+            "Run many independent trials of one circuit on one graph through "
+            "the batched solver engine. Trial i is seeded with "
+            "SeedSequence(seed, spawn_key=(i,)), so results are reproducible "
+            "and (dense backend, no early stop) bit-identical to running the "
+            "sequential circuit once per trial."
+        ),
+    )
+    engine.add_argument("--circuit", choices=["lif_gw", "lif_tr"], default="lif_gw")
+    engine.add_argument("--graph", type=str, default=None,
+                        help="Table I graph name or an edge-list / .mtx file path")
+    engine.add_argument("--er", type=float, nargs=2, metavar=("N", "P"), default=(100, 0.25),
+                        help="Erdős–Rényi parameters used when --graph is not given")
+    engine.add_argument("--trials", type=int, default=64,
+                        help="number of independent trials in the batch")
+    engine.add_argument("--samples", type=int, default=256,
+                        help="cut read-outs per trial")
+    engine.add_argument("--backend", type=str, default="auto",
+                        help="weight backend: auto, dense, or sparse")
+    engine.add_argument("--early-stop-patience", type=int, default=0, metavar="ROUNDS",
+                        help="stop after this many non-improving read-out rounds "
+                             "(0 disables early stopping)")
+    engine.add_argument("--compare", action="store_true",
+                        help="also run the sequential per-trial path and report speedup")
+
     # figure3 ----------------------------------------------------------------
     figure3 = subparsers.add_parser("figure3", help="Erdős–Rényi convergence sweep (Figure 3)")
     figure3.add_argument("--sizes", type=int, nargs="+", default=[50])
@@ -123,6 +156,97 @@ def _command_solve(args: argparse.Namespace) -> int:
     print(f"cut weight : {cut.weight:g}  (of total edge weight {graph.total_weight:g})")
     sides = cut.side_sizes
     print(f"partition  : {sides[0]} / {sides[1]} vertices")
+    return 0
+
+
+def _command_engine(args: argparse.Namespace) -> int:
+    from repro.circuits.lif_gw import LIFGWCircuit
+    from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+    from repro.engine import EarlyStopConfig, list_backends
+    from repro.experiments.runner import run_circuit_trials
+
+    # Fail fast on a bad backend name, before the (possibly expensive)
+    # graph load and offline SDP solve.
+    known_backends = list_backends()
+    if args.backend != "auto" and args.backend not in known_backends:
+        print(
+            f"error: unknown backend {args.backend!r}; "
+            f"choose from: auto, {', '.join(known_backends)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    graph = _load_graph(args)
+    early_stop = None
+    if args.early_stop_patience > 0:
+        # Let the rule fire as soon as `patience` rounds have been seen —
+        # EarlyStopConfig's default min_rounds floor (64) would silently
+        # disable the flag for short runs.
+        early_stop = EarlyStopConfig(
+            patience=args.early_stop_patience,
+            min_rounds=args.early_stop_patience,
+        )
+    # Build the circuit once (the LIF-GW SDP solve is the offline stage) so
+    # the reported throughput — and any --compare speedup — measures the
+    # simulation itself, not a repeated SDP solve.
+    if args.circuit == "lif_gw":
+        circuit = LIFGWCircuit(graph, seed=args.seed)
+    else:
+        circuit = LIFTrevisanCircuit(graph)
+    result = run_circuit_trials(
+        circuit=circuit,
+        graph=None,
+        n_trials=args.trials,
+        n_samples=args.samples,
+        seed=args.seed,
+        backend=args.backend,
+        early_stop=early_stop,
+    )
+    print(f"graph      : {graph.name} ({graph.n_vertices} vertices, {graph.n_edges} edges)")
+    print(f"circuit    : {result.circuit_name}  backend: {result.backend_name}")
+    print(f"batch      : {result.n_trials} trials x {result.n_rounds} read-outs"
+          + (f" (early-stopped at {result.n_rounds}/{result.n_samples})"
+             if result.early_stopped else ""))
+    print(f"best cut   : {result.best_weight:g}  (of total edge weight {graph.total_weight:g})")
+    if result.n_trials:
+        mean = float(result.trial_best_weights.mean())
+        print(f"trial best : mean {mean:g}  min {result.trial_best_weights.min():g}  "
+              f"max {result.trial_best_weights.max():g}")
+    print(f"throughput : {result.samples_per_second:,.0f} read-outs/s "
+          f"({result.elapsed_seconds:.3f}s wall)")
+    if args.compare:
+        reference = run_circuit_trials(
+            circuit=circuit,
+            graph=None,
+            n_trials=args.trials,
+            n_samples=args.samples,
+            seed=args.seed,
+            use_engine=False,
+        )
+        # Per-read-out throughput ratio, so an early-stopped (truncated)
+        # engine run is not credited for the rounds it skipped.
+        speedup = (result.samples_per_second / reference.samples_per_second
+                   if reference.samples_per_second > 0 else float("inf"))
+        print(f"sequential : {reference.samples_per_second:,.0f} read-outs/s "
+              f"({reference.elapsed_seconds:.3f}s wall)")
+        if result.n_rounds == reference.n_rounds:
+            match = bool(
+                (result.trial_best_weights == reference.trial_best_weights).all()
+            )
+            print(f"speedup    : {speedup:.1f}x  per-trial bests match: {match}")
+        else:
+            print(f"speedup    : {speedup:.1f}x per read-out "
+                  f"(engine truncated to {result.n_rounds}/{reference.n_rounds} rounds)")
+    if args.save:
+        save_results(
+            args.save, "engine", [result],
+            config={
+                "circuit": args.circuit, "n_trials": args.trials,
+                "n_samples": args.samples, "backend": args.backend,
+                "seed": args.seed,
+            },
+        )
+        print(f"\nresults written to {args.save}")
     return 0
 
 
@@ -203,6 +327,7 @@ def _command_graphs(_args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "solve": _command_solve,
+    "engine": _command_engine,
     "figure3": _command_figure3,
     "figure4": _command_figure4,
     "table1": _command_table1,

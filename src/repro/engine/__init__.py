@@ -1,0 +1,54 @@
+"""Batched solver engine: trial-parallel device + LIF simulation.
+
+Public API
+----------
+:class:`SolveRequest` / :class:`SolveResult`
+    Describe and report a batch of independent circuit trials on one graph.
+:class:`BatchedSolverEngine` / :func:`solve`
+    Execute a request with trial-parallel simulation.
+:func:`sequential_solve`
+    Reference loop over the sequential circuit path with the same per-trial
+    seeds (for equivalence tests and benchmarks).
+:class:`EarlyStopConfig`
+    Plateau rule for streaming best-cut early stopping.
+:func:`register_backend` / :func:`list_backends`
+    Extend or inspect the weight-application backend registry
+    (``dense`` and ``sparse`` ship by default).
+"""
+
+from repro.engine.backends import (
+    DenseBackend,
+    SparseBackend,
+    WeightBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    select_backend,
+)
+from repro.engine.engine import BatchedSolverEngine, sequential_solve, solve
+from repro.engine.plan import BatchPlan
+from repro.engine.request import EarlyStopConfig, SolveRequest, SolveResult
+from repro.engine.sampler import BatchDeviceSampler, trial_seed_sequences
+from repro.engine.simulator import BatchLIFSimulator
+from repro.engine.tracker import BestCutTracker
+
+__all__ = [
+    "BatchDeviceSampler",
+    "BatchLIFSimulator",
+    "BatchPlan",
+    "BatchedSolverEngine",
+    "BestCutTracker",
+    "DenseBackend",
+    "EarlyStopConfig",
+    "SolveRequest",
+    "SolveResult",
+    "SparseBackend",
+    "WeightBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "select_backend",
+    "sequential_solve",
+    "solve",
+    "trial_seed_sequences",
+]

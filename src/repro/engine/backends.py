@@ -1,0 +1,188 @@
+"""Weight-application backends for the batched solver engine.
+
+The inner loop of every circuit is "apply the device-to-neuron weight matrix
+to a block of centred device states".  For the LIF-GW circuit the weight
+matrix is a skinny ``(n, rank)`` dense array; for LIF-Trevisan it is the
+``(n, n)`` Trevisan matrix, which for the large low-density instances in
+:mod:`repro.graphs.repository` is mostly zeros.  The engine therefore routes
+the product through a small registry of backends:
+
+* ``dense`` — plain NumPy matmul, evaluated with exactly the same expression
+  as :meth:`repro.neurons.lif.LIFPopulation._drive_current`, so the fast path
+  stays bit-identical to the sequential circuits.
+* ``sparse`` — :mod:`scipy.sparse` CSR product, built from the graph's cached
+  CSR adjacency (:meth:`repro.graphs.graph.Graph.to_csr`) when the circuit
+  provides a sparse weight builder.  Results agree with ``dense`` to
+  floating-point round-off (summation order differs).
+
+``select_backend("auto", ...)`` picks ``sparse`` only when the weights are
+square, the graph is large (>= ``SPARSE_MIN_VERTICES``) and its edge density
+is below ``SPARSE_DENSITY_THRESHOLD``; everything else runs dense.  New
+backends (GPU, blocked, ...) can be registered with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "WeightBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "select_backend",
+    "SPARSE_DENSITY_THRESHOLD",
+    "SPARSE_MIN_VERTICES",
+]
+
+#: Graphs at least this dense always use the dense backend under ``"auto"``.
+SPARSE_DENSITY_THRESHOLD: float = 0.05
+
+#: Graphs smaller than this always use the dense backend under ``"auto"``.
+SPARSE_MIN_VERTICES: int = 128
+
+
+class WeightBackend:
+    """Interface: turn centred device-state blocks into synaptic currents."""
+
+    name: str = "backend"
+
+    def drive(
+        self,
+        device_block: np.ndarray,
+        input_offset: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Currents ``(s - offset) W^T`` for a ``(steps, devices)`` block.
+
+        ``out``, when given, receives the product in place (a C-contiguous
+        ``(steps, neurons)`` buffer), avoiding an intermediate allocation.
+        """
+        raise NotImplementedError
+
+
+class DenseBackend(WeightBackend):
+    """NumPy matmul backend — bit-identical to the sequential LIF drive."""
+
+    name = "dense"
+
+    def __init__(self, weights: np.ndarray, sparse_weights=None) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValidationError(f"weights must be 2-D, got shape {weights.shape}")
+        self._weights = weights
+
+    def drive(
+        self,
+        device_block: np.ndarray,
+        input_offset: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        # Same expression (dtype, order, transpose-view) as
+        # LIFPopulation._drive_current, which is what makes the engine's dense
+        # path bitwise-reproducible against the sequential circuits.
+        centred = device_block.astype(np.float64) - input_offset
+        if out is None:
+            return centred @ self._weights.T
+        return np.matmul(centred, self._weights.T, out=out)
+
+
+class SparseBackend(WeightBackend):
+    """scipy.sparse CSR backend for large, low-density weight matrices."""
+
+    name = "sparse"
+
+    def __init__(self, weights: np.ndarray, sparse_weights=None) -> None:
+        if sparse_weights is not None:
+            matrix = sparse_weights() if callable(sparse_weights) else sparse_weights
+            self._csr = sp.csr_matrix(matrix)
+        else:
+            self._csr = sp.csr_matrix(np.asarray(weights, dtype=np.float64))
+        if self._csr.ndim != 2:
+            raise ValidationError("sparse weights must be 2-D")
+
+    def drive(
+        self,
+        device_block: np.ndarray,
+        input_offset: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        centred = device_block.astype(np.float64) - input_offset
+        # (W @ centred^T)^T == centred @ W^T, computed sparse-side.
+        result = self._csr.dot(centred.T).T
+        if out is None:
+            return np.ascontiguousarray(result)
+        np.copyto(out, result)
+        return out
+
+
+#: Registered backend factories: name -> (weights, sparse_weights) -> backend.
+_REGISTRY: Dict[str, Callable[..., WeightBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., WeightBackend]) -> None:
+    """Register a backend factory ``(weights, sparse_weights=None) -> WeightBackend``."""
+    if not name or name == "auto":
+        raise ValidationError(f"invalid backend name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str) -> Callable[..., WeightBackend]:
+    """Look up a registered backend factory by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered: {list_backends()}"
+        ) from None
+
+
+def list_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+register_backend("dense", DenseBackend)
+register_backend("sparse", SparseBackend)
+
+
+def select_backend(
+    name: str,
+    weights: np.ndarray,
+    graph=None,
+    sparse_weights=None,
+) -> WeightBackend:
+    """Resolve *name* (possibly ``"auto"``) into a constructed backend.
+
+    Parameters
+    ----------
+    name:
+        ``"auto"`` or a registered backend name.
+    weights:
+        Dense device-to-neuron weight matrix.
+    graph:
+        The graph being solved; supplies the density signal for ``"auto"``.
+    sparse_weights:
+        Optional sparse weight matrix (or zero-argument builder) supplied by
+        the circuit; required for ``"auto"`` to ever pick ``sparse``.
+    """
+    weights = np.asarray(weights)
+    if name == "auto":
+        n_rows, n_cols = weights.shape
+        use_sparse = (
+            sparse_weights is not None
+            and n_rows == n_cols
+            and graph is not None
+            and graph.n_vertices >= SPARSE_MIN_VERTICES
+            and graph.density() < SPARSE_DENSITY_THRESHOLD
+        )
+        name = "sparse" if use_sparse else "dense"
+    factory = get_backend(name)
+    return factory(weights, sparse_weights=sparse_weights)

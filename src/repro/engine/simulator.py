@@ -1,0 +1,185 @@
+"""Batched (trial-parallel) LIF membrane integration.
+
+:class:`BatchLIFSimulator` advances *all trials at once*: the membrane state
+is a ``(trials, neurons)`` matrix and every Euler step is a single vectorised
+update ``V <- leak * V + gain * I_t`` on that matrix, with the synaptic
+currents ``I`` produced by one weight-application matmul per trial (dense or
+sparse backend).  Where the sequential :class:`repro.neurons.lif.LIFPopulation`
+runs a Python loop of ``trials x steps`` iterations, the batched simulator
+loops ``steps`` times over ``(trials, neurons)`` arrays — the source of the
+engine's throughput win.
+
+Numerical contract: every per-element operation (leak, gain, threshold,
+reset) is evaluated with the same scalar arithmetic as ``LIFPopulation``'s
+``_integrate`` / ``run_subthreshold``, and the dense backend evaluates the
+drive matmul with the identical expression and operand shapes, so the batched
+trajectories are bit-identical to sequential trials under the same seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.engine.backends import WeightBackend
+from repro.neurons.lif import LIFParameters
+from repro.utils.validation import ValidationError
+
+__all__ = ["BatchLIFSimulator"]
+
+
+class BatchLIFSimulator:
+    """Integrates a block of independent LIF trials in lock-step.
+
+    Parameters
+    ----------
+    backend:
+        Weight-application backend turning centred device states into
+        synaptic currents.
+    params:
+        Electrical parameters shared by all neurons and trials (the same
+        :class:`LIFParameters` the sequential circuits use, including
+        threshold/reset semantics).
+    n_neurons:
+        Number of neurons per trial.
+    """
+
+    def __init__(
+        self, backend: WeightBackend, params: LIFParameters, n_neurons: int
+    ) -> None:
+        if n_neurons < 1:
+            raise ValidationError(f"n_neurons must be >= 1, got {n_neurons}")
+        self._backend = backend
+        self._params = params
+        self._n_neurons = int(n_neurons)
+
+    # ------------------------------------------------------------------
+    def drive_currents(self, device_states: np.ndarray, split_at: int = 0) -> np.ndarray:
+        """Synaptic currents ``(trials, steps, neurons)`` for a state block.
+
+        Each trial's currents come from its own 2-D weight application — the
+        same call shape the sequential circuits issue — so dense results are
+        bitwise reproducible.  ``split_at`` mirrors the sequential spike path,
+        which computes burn-in head and recorded tail in *separate* products
+        (:meth:`LIFPopulation.run`): pass ``burn_in`` there to keep the spike
+        read-out bit-identical; the membrane/subthreshold path uses one
+        product over all steps (``split_at=0``), as ``run_subthreshold`` does.
+        """
+        if device_states.ndim != 3:
+            raise ValidationError(
+                f"device_states must be (trials, steps, devices), got {device_states.shape}"
+            )
+        n_trials, n_steps, _ = device_states.shape
+        offset = self._params.input_offset
+        currents = np.empty((n_trials, n_steps, self._n_neurons), dtype=np.float64)
+        for b in range(n_trials):
+            if 0 < split_at < n_steps:
+                self._backend.drive(
+                    device_states[b, :split_at], offset, out=currents[b, :split_at]
+                )
+                self._backend.drive(
+                    device_states[b, split_at:], offset, out=currents[b, split_at:]
+                )
+            else:
+                self._backend.drive(device_states[b], offset, out=currents[b])
+        return currents
+
+    # ------------------------------------------------------------------
+    def iter_membrane_readouts(
+        self,
+        currents: np.ndarray,
+        burn_in: int,
+        interval: int,
+        n_rounds: int,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Subthreshold integration yielding ``(round, potentials)`` per read-out.
+
+        Spiking is disabled (no reset), matching
+        :meth:`LIFPopulation.run_subthreshold`; the yielded ``(trials,
+        neurons)`` rows are the membrane potentials at read-out steps
+        ``burn_in + (r + 1) * interval - 1``.
+
+        The ``currents`` buffer is scaled by ``dt / C`` in place on first
+        iteration (one vectorised pass instead of one multiply per step);
+        iterate a fresh buffer each time.
+        """
+        leak = self._params.leak_factor
+        np.multiply(currents, self._params.dt / self._params.capacitance, out=currents)
+        potentials = np.zeros((currents.shape[0], self._n_neurons), dtype=np.float64)
+        # In-place V <- leak*V; V <- V + I_t applies the identical elementwise
+        # operations as `leak * V + I_t` without per-step temporaries.
+        for t in range(burn_in):
+            np.multiply(potentials, leak, out=potentials)
+            np.add(potentials, currents[:, t], out=potentials)
+        for r in range(n_rounds):
+            base = burn_in + r * interval
+            for k in range(interval):
+                np.multiply(potentials, leak, out=potentials)
+                np.add(potentials, currents[:, base + k], out=potentials)
+            yield r, potentials.copy()
+
+    def iter_spike_readouts(
+        self,
+        currents: np.ndarray,
+        burn_in: int,
+        interval: int,
+        n_rounds: int,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Spiking integration yielding ``(round, fired)`` boolean masks.
+
+        Threshold crossings reset the membrane to ``reset_potential`` exactly
+        as :meth:`LIFPopulation.run` does (including during burn-in); the
+        yielded mask is the spike raster row at each read-out step.
+        """
+        params = self._params
+        leak = params.leak_factor
+        threshold, reset = params.threshold, params.reset_potential
+        np.multiply(currents, params.dt / params.capacitance, out=currents)
+        potentials = np.zeros((currents.shape[0], self._n_neurons), dtype=np.float64)
+        for t in range(burn_in):
+            np.multiply(potentials, leak, out=potentials)
+            np.add(potentials, currents[:, t], out=potentials)
+            fired = potentials >= threshold
+            if fired.any():
+                potentials[fired] = reset
+        for r in range(n_rounds):
+            base = burn_in + r * interval
+            # interval >= 1 (validated in BatchPlan), so the loop always
+            # assigns `fired` before the yield below.
+            for k in range(interval):
+                np.multiply(potentials, leak, out=potentials)
+                np.add(potentials, currents[:, base + k], out=potentials)
+                fired = potentials >= threshold
+                if fired.any():
+                    potentials[fired] = reset
+            yield r, fired
+
+    def iter_subthreshold_rounds(
+        self,
+        currents: np.ndarray,
+        burn_in: int,
+        interval: int,
+        n_rounds: int,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Subthreshold integration yielding every round's full row block.
+
+        Yields ``(round, rows)`` with ``rows`` of shape ``(trials, interval,
+        neurons)`` — the post-burn-in membrane trajectory segment the
+        LIF-Trevisan plasticity rule consumes step by step.
+        """
+        leak = self._params.leak_factor
+        np.multiply(currents, self._params.dt / self._params.capacitance, out=currents)
+        n_trials = currents.shape[0]
+        potentials = np.zeros((n_trials, self._n_neurons), dtype=np.float64)
+        for t in range(burn_in):
+            np.multiply(potentials, leak, out=potentials)
+            np.add(potentials, currents[:, t], out=potentials)
+        for r in range(n_rounds):
+            base = burn_in + r * interval
+            rows = np.empty((n_trials, interval, self._n_neurons), dtype=np.float64)
+            for k in range(interval):
+                np.multiply(potentials, leak, out=potentials)
+                np.add(potentials, currents[:, base + k], out=potentials)
+                rows[:, k] = potentials
+            yield r, rows

@@ -6,6 +6,12 @@ earlier results for comparison without re-running hours of sampling.  This
 module provides that thin layer: every experiment's result is converted to
 plain JSON-serialisable dictionaries with a metadata header (experiment id,
 configuration summary, library version, timestamp).
+
+It is also the experiments-layer entry point to the batched solver engine:
+:func:`run_circuit_trials` replaces the historical "loop ``sample_cuts`` once
+per trial" pattern with a single trial-parallel engine solve (falling back to
+the sequential loop on request, for reference timings and equivalence
+checks).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.engine.request import SolveResult
 from repro.experiments.ablations import AblationPoint
 from repro.experiments.figure3 import Figure3Cell
 from repro.experiments.figure4 import Figure4Panel
@@ -28,12 +35,13 @@ __all__ = [
     "results_to_jsonable",
     "save_results",
     "load_results",
+    "run_circuit_trials",
     "ExperimentRecord",
 ]
 
 PathLike = Union[str, os.PathLike]
 
-_RESULT_TYPES = (Figure3Cell, Figure4Panel, Table1Row, AblationPoint)
+_RESULT_TYPES = (Figure3Cell, Figure4Panel, Table1Row, AblationPoint, SolveResult)
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -121,6 +129,72 @@ def save_results(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
     return record
+
+
+def run_circuit_trials(
+    graph=None,
+    circuit: str = "lif_gw",
+    n_trials: int = 8,
+    n_samples: int = 256,
+    seed: Optional[int] = 0,
+    config: Optional[Any] = None,
+    backend: str = "auto",
+    early_stop: Optional[Any] = None,
+    use_engine: bool = True,
+    **request_options: Any,
+):
+    """Run *n_trials* independent circuit trials on one graph — batched.
+
+    The modern replacement for looping ``circuit.sample_cuts`` per trial:
+    one :class:`repro.engine.SolveRequest` is dispatched to the batched
+    engine, which simulates every trial's devices and membranes together.
+    ``use_engine=False`` selects :func:`repro.engine.sequential_solve`, the
+    trial-by-trial reference path with identical per-trial seeding (useful
+    for equivalence checks and speedup measurements); both paths return the
+    same :class:`repro.engine.SolveResult` shape.
+
+    Parameters
+    ----------
+    graph:
+        Graph to cut; optional (and checked for consistency) when *circuit*
+        is an already-built instance, which carries its own graph.
+    circuit:
+        ``"lif_gw"``/``"lif_tr"``, or an already-built circuit instance.
+    n_trials, n_samples, seed:
+        Batch geometry and root seed (trial *i* uses
+        ``SeedSequence(seed, spawn_key=(i,))``).
+    config:
+        Circuit configuration forwarded when *circuit* is a name.
+    backend, early_stop, use_engine, request_options:
+        Engine options; see :class:`repro.engine.SolveRequest`.
+    """
+    from repro.engine import SolveRequest, sequential_solve, solve
+
+    if isinstance(circuit, str):
+        request = SolveRequest(
+            circuit=circuit, graph=graph, n_trials=n_trials, n_samples=n_samples,
+            seed=seed, config=config, backend=backend, early_stop=early_stop,
+            **request_options,
+        )
+    else:
+        # An instance carries its own graph and configuration; refuse
+        # conflicting arguments instead of silently ignoring them.
+        if config is not None:
+            raise ValidationError(
+                "config cannot be combined with an already-built circuit; "
+                "configure the circuit at construction time"
+            )
+        if graph is not None and graph is not circuit.graph:
+            raise ValidationError(
+                "graph does not match the circuit instance's graph; "
+                "pass graph=None (or the same graph) with a circuit instance"
+            )
+        request = SolveRequest(
+            circuit=circuit, n_trials=n_trials, n_samples=n_samples,
+            seed=seed, backend=backend, early_stop=early_stop,
+            **request_options,
+        )
+    return solve(request) if use_engine else sequential_solve(request)
 
 
 def load_results(path: PathLike) -> ExperimentRecord:

@@ -46,6 +46,7 @@ class Graph:
         "name",
         "_adjacency",
         "_adjacency_sparse",
+        "_normalized_sparse",
         "_degrees",
     )
 
@@ -95,6 +96,7 @@ class Graph:
         self._weights = weights
         self._adjacency: Optional[np.ndarray] = None
         self._adjacency_sparse: Optional[sp.csr_matrix] = None
+        self._normalized_sparse: Optional[sp.csr_matrix] = None
         self._degrees: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -217,6 +219,18 @@ class Graph:
             )
         return self._adjacency_sparse
 
+    def to_csr(self, normalized: bool = False) -> sp.csr_matrix:
+        """Cached CSR adjacency, plain or degree-normalised.
+
+        The canonical entry point for sparse consumers (the engine's sparse
+        weight backend, :mod:`repro.spectral`): repeated calls return the same
+        cached matrix instead of rebuilding COO data or re-multiplying by
+        ``D^{-1/2}`` per call.  Callers must not mutate the returned matrix.
+        """
+        if normalized:
+            return self.normalized_adjacency_sparse()
+        return self.adjacency_sparse()
+
     def degrees(self) -> np.ndarray:
         """Weighted degree vector ``d_i = sum_j A_ij`` (cached)."""
         if self._degrees is None:
@@ -251,10 +265,16 @@ class Graph:
         return (inv_sqrt[:, None] * A) * inv_sqrt[None, :]
 
     def normalized_adjacency_sparse(self) -> sp.csr_matrix:
-        """Sparse normalized adjacency for large-graph eigensolves."""
-        inv_sqrt = self.inverse_sqrt_degrees()
-        D = sp.diags(inv_sqrt)
-        return (D @ self.adjacency_sparse() @ D).tocsr()
+        """Sparse normalized adjacency for large-graph eigensolves (cached).
+
+        The returned matrix is shared with every other caller — treat it as
+        read-only; mutate a ``.copy()`` instead.
+        """
+        if self._normalized_sparse is None:
+            inv_sqrt = self.inverse_sqrt_degrees()
+            D = sp.diags(inv_sqrt)
+            self._normalized_sparse = (D @ self.adjacency_sparse() @ D).tocsr()
+        return self._normalized_sparse
 
     def trevisan_matrix(self) -> np.ndarray:
         """Dense Trevisan matrix ``I + D^{-1/2} A D^{-1/2}`` (paper §IV.B)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -29,19 +30,25 @@ class ParallelConfig:
         execution; ``None`` uses ``os.cpu_count()``.
     chunk_size:
         Number of items handed to a worker at a time (process mode only).
+        ``None`` (the default) auto-computes ``ceil(len(items) / (4 *
+        n_workers))`` per call, so many small items travel in few IPC
+        round-trips while each worker still gets ~4 chunks for load
+        balancing.  A fixed ``chunk_size=1`` previously made pickling/IPC
+        overhead dominate exactly the many-small-trials sweeps the pool
+        exists for.
     serial_threshold:
         Work lists shorter than this run serially even when workers are
         requested, because process start-up would dominate.
     """
 
     n_workers: Optional[int] = None
-    chunk_size: int = 1
+    chunk_size: Optional[int] = None
     serial_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 0:
             raise ValidationError(f"n_workers must be >= 0, got {self.n_workers}")
-        if self.chunk_size < 1:
+        if self.chunk_size is not None and self.chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.serial_threshold < 0:
             raise ValidationError(
@@ -53,6 +60,13 @@ class ParallelConfig:
         if self.n_workers is None:
             return max(1, os.cpu_count() or 1)
         return self.n_workers
+
+    def resolved_chunk_size(self, n_items: int) -> int:
+        """Chunk size after resolving the ``None`` (auto) default for *n_items*."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        workers = max(1, self.resolved_workers())
+        return max(1, math.ceil(n_items / (4 * workers)))
 
 
 def parallel_map(
@@ -79,7 +93,11 @@ def parallel_map(
     if n_workers <= 1 or len(items) < config.serial_threshold:
         return [fn(item) for item in items]
 
-    _logger.debug("parallel_map: %d items across %d workers", len(items), n_workers)
+    chunk_size = config.resolved_chunk_size(len(items))
+    _logger.debug(
+        "parallel_map: %d items across %d workers (chunk_size=%d)",
+        len(items), n_workers, chunk_size,
+    )
     with ProcessPoolExecutor(max_workers=n_workers) as executor:
-        results = list(executor.map(fn, items, chunksize=config.chunk_size))
+        results = list(executor.map(fn, items, chunksize=chunk_size))
     return results

@@ -56,10 +56,10 @@ def minimum_eigenvector(
         eigenvalues, eigenvectors = np.linalg.eigh(N)
         return float(eigenvalues[0]), eigenvectors[:, 0]
     if method == "lanczos":
-        N = graph.normalized_adjacency_sparse()
+        N = graph.to_csr(normalized=True)
         return lanczos_extreme_eigenpair(N, which="smallest", seed=seed)
     if method == "arpack":
-        N = graph.normalized_adjacency_sparse().asfptype()
+        N = graph.to_csr(normalized=True).asfptype()
         if n <= 3 or graph.n_edges == 0:
             dense = graph.normalized_adjacency()
             eigenvalues, eigenvectors = np.linalg.eigh(dense)
