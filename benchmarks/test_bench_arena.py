@@ -1,0 +1,46 @@
+"""Benchmark: the solver arena's engine routing vs. all-sequential execution.
+
+The arena's promise is that batchable circuits ride the trial-parallel
+engine for free.  This benchmark runs the same 3-solver comparison twice —
+once with engine routing enabled and once forced sequential — and prints
+both leaderboards, so the engine's contribution to end-to-end comparison
+wall time is visible next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sample_budget
+from repro.arena import ArenaBudget, run_arena
+from repro.experiments.reporting import format_arena_leaderboard
+from repro.graphs.generators import erdos_renyi
+
+SOLVERS = ["lif_tr", "random", "trevisan"]
+
+
+@pytest.fixture(scope="module")
+def arena_graphs():
+    return [
+        erdos_renyi(80, 0.25, seed=21, name="arena_er80"),
+        erdos_renyi(120, 0.15, seed=22, name="arena_er120"),
+    ]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("use_engine", [True, False], ids=["engine", "sequential"])
+def test_bench_arena_routing(benchmark, arena_graphs, use_engine):
+    """Time a full arena run with and without engine routing."""
+    budget = ArenaBudget(n_trials=8, n_samples=sample_budget(128, 1024))
+
+    result = benchmark.pedantic(
+        run_arena,
+        args=(SOLVERS,),
+        kwargs={"suite": arena_graphs, "budget": budget, "seed": 17,
+                "use_engine": use_engine},
+        iterations=1, rounds=1,
+    )
+
+    entries = {e.solver: e for e in result.entries_for_graph("arena_er80")}
+    assert entries["lif_tr"].used_engine is use_engine
+    print("\n" + format_arena_leaderboard(result))

@@ -10,7 +10,10 @@ The library implements, in pure NumPy/SciPy:
 * the software baselines (Goemans-Williamson, Trevisan simple spectral,
   random cuts), and
 * the experiment harness regenerating the paper's Figure 3, Figure 4 and
-  Table I, plus the ablations its Discussion calls for.
+  Table I, plus the ablations its Discussion calls for, and
+* a capability-aware solver registry with a cross-method comparison arena
+  (:mod:`repro.arena`, ``python -m repro compare``) racing circuits against
+  the classical baselines over named graph suites under a shared budget.
 
 Quickstart
 ----------
@@ -73,8 +76,22 @@ from repro.algorithms import (
     goemans_williamson,
     trevisan_spectral,
     random_baseline,
+    SolverSpec,
     get_solver,
+    get_spec,
     list_solvers,
+    list_specs,
+    register_solver,
+)
+from repro.arena import (
+    ArenaBudget,
+    ArenaEntry,
+    ArenaResult,
+    GraphSuite,
+    build_suite,
+    list_suites,
+    register_suite,
+    run_arena,
 )
 from repro.ising import (
     IsingModel,
@@ -137,8 +154,21 @@ __all__ = [
     "goemans_williamson",
     "trevisan_spectral",
     "random_baseline",
+    "SolverSpec",
     "get_solver",
+    "get_spec",
     "list_solvers",
+    "list_specs",
+    "register_solver",
+    # solver arena
+    "ArenaBudget",
+    "ArenaEntry",
+    "ArenaResult",
+    "GraphSuite",
+    "build_suite",
+    "list_suites",
+    "register_suite",
+    "run_arena",
     # ising baselines
     "IsingModel",
     "maxcut_to_ising",

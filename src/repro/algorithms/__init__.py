@@ -11,6 +11,13 @@ The Discussion section notes the LIF-GW circuit extends to MAXDICUT and
 MAX2SAT through the corresponding Goemans-Williamson rounding schemes; those
 extensions are implemented in :mod:`repro.algorithms.maxdicut` and
 :mod:`repro.algorithms.max2sat`.
+
+All MAXCUT methods — circuits and baselines — are registered in the
+capability-aware registry (:mod:`repro.algorithms.registry`): look solvers up
+with :func:`get_solver`, inspect capabilities and per-solver ``n_samples``
+semantics with :func:`get_spec` / :func:`list_specs`, and add new methods
+with :func:`register_solver`.  The registry is what the cross-method arena
+(:mod:`repro.arena`) and the ``repro solve`` / ``repro compare`` CLI build on.
 """
 
 from repro.algorithms.goemans_williamson import GWResult, goemans_williamson
@@ -24,7 +31,16 @@ from repro.algorithms.max2sat import (
     satisfied_clauses,
     random_max2sat_instance,
 )
-from repro.algorithms.registry import SOLVERS, get_solver, list_solvers
+from repro.algorithms.registry import (
+    SOLVER_SPECS,
+    SOLVERS,
+    SolverSpec,
+    get_solver,
+    get_spec,
+    list_solvers,
+    list_specs,
+    register_solver,
+)
 
 __all__ = [
     "GWResult",
@@ -40,6 +56,11 @@ __all__ = [
     "satisfied_clauses",
     "random_max2sat_instance",
     "SOLVERS",
+    "SOLVER_SPECS",
+    "SolverSpec",
     "get_solver",
+    "get_spec",
     "list_solvers",
+    "list_specs",
+    "register_solver",
 ]

@@ -1,4 +1,11 @@
-"""Uniformly random cut baseline, packaged like the other solvers."""
+"""Uniformly random cut baseline, packaged like the other solvers.
+
+The red-X reference curve in the paper's figures: draw ``n_samples``
+uniformly random ±1 assignments, evaluate them in one vectorised batch, and
+keep the best.  In expectation a random cut captures half the total edge
+weight, so this is the floor every serious method must clear.  Registry
+budget semantics: ``n_samples`` = number of random cuts drawn (``"cuts"``).
+"""
 
 from __future__ import annotations
 

@@ -1,13 +1,63 @@
-"""Solver registry: uniform ``solve(graph, n_samples, seed) -> Cut`` interface.
+"""Capability-aware solver registry: the single source of truth for MAXCUT methods.
 
-Experiments refer to methods by short string keys ("lif_gw", "lif_tr",
-"solver", "random"); the registry maps those keys to callables so sweeps can
-be parameterised by name without import-time coupling.
+Every solver in the library — neuromorphic circuits and classical baselines
+alike — is registered here behind the uniform call signature
+
+    solve(graph, n_samples, seed, **kwargs) -> Cut
+
+so experiments, the CLI, and the cross-method arena (:mod:`repro.arena`) can
+be parameterised by short string keys without import-time coupling.  Beyond
+the historical flat name→callable map (still exported as :data:`SOLVERS`),
+each method now carries a :class:`SolverSpec` describing its *capabilities*:
+whether it is deterministic, whether it can be batched through the
+trial-parallel engine (:mod:`repro.engine`), how it interprets the
+``n_samples`` budget, and which paper it comes from.  The arena uses this
+metadata to route each solver down the right execution path and to report
+budgets honestly.
+
+``n_samples`` semantics per solver
+----------------------------------
+The uniform signature hides real differences in what "one sample" means.
+Each spec's ``budget`` field records the interpretation:
+
+``"readouts"``
+    ``lif_gw`` / ``lif_tr`` — cut read-outs of the stochastic circuit; more
+    samples, better best-of-batch cut.  Batchable through the engine.
+``"roundings"``
+    ``gw`` (alias ``solver``) — random hyperplane roundings of one SDP
+    solution; the SDP itself is solved once regardless of ``n_samples``.
+``"cuts"``
+    ``random`` — uniformly random cuts drawn and evaluated.
+``"ignored"``
+    ``trevisan`` — deterministic spectral method; ``n_samples`` is accepted
+    for interface uniformity but has **no effect** on result or cost.
+``"sweeps"``
+    ``annealing`` / ``tempering`` — Metropolis sweeps of the Ising dynamics;
+    one sweep touches every spin once, so cost scales with ``n · n_samples``.
+``"restarts"``
+    ``local_search`` — the budget is divided by 10 to give the number of
+    greedy restarts (each restart performs many flip passes).
+
+Registering a new solver
+------------------------
+Build a :class:`SolverSpec` and pass it to :func:`register_solver`::
+
+    register_solver(SolverSpec(
+        key="my_method", fn=my_solve_fn, deterministic=False,
+        budget="cuts", summary="one-line description",
+    ))
+
+The solver immediately appears in :func:`list_solvers`, the ``repro solve``
+CLI, and ``repro compare``.  Set ``batchable=True`` and ``circuit=<engine
+circuit name>`` only for circuits the batched engine knows how to simulate.
+See DESIGN.md §"Solver arena" for the full contract.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import difflib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.algorithms.goemans_williamson import goemans_williamson
 from repro.algorithms.random_baseline import random_baseline
@@ -22,9 +72,83 @@ from repro.ising.tempering import parallel_tempering
 from repro.utils.rng import RandomState
 from repro.utils.validation import ValidationError
 
-__all__ = ["SOLVERS", "get_solver", "list_solvers"]
+__all__ = [
+    "SolverSpec",
+    "SOLVERS",
+    "SOLVER_SPECS",
+    "register_solver",
+    "get_solver",
+    "get_spec",
+    "list_solvers",
+    "list_specs",
+]
 
 SolverFn = Callable[..., Cut]
+
+#: Recognised ``n_samples`` interpretations (see module docstring).
+BUDGET_SEMANTICS = ("readouts", "roundings", "cuts", "ignored", "sweeps", "restarts")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Metadata + callable for one registered solver.
+
+    Attributes
+    ----------
+    key:
+        Canonical registry key (e.g. ``"lif_gw"``).
+    fn:
+        Callable with the uniform ``(graph, n_samples, seed, **kwargs) -> Cut``
+        signature.
+    deterministic:
+        True when the result is independent of ``seed`` (and the arena need
+        run only a single trial).
+    batchable:
+        True when the solver can be routed through the trial-parallel batched
+        engine (:func:`repro.experiments.runner.run_circuit_trials`).
+    circuit:
+        Engine circuit name (``"lif_gw"`` / ``"lif_tr"``) for batchable
+        solvers; ``None`` otherwise.
+    budget:
+        How the solver interprets ``n_samples`` — one of
+        :data:`BUDGET_SEMANTICS`; see the module docstring.
+    citation:
+        Short citation tag for reports (e.g. ``"GW95"``).
+    summary:
+        One-line human description used by CLI listings and docs.
+    aliases:
+        Extra registry keys resolving to this spec (kept for backward
+        compatibility, e.g. ``"solver"`` → ``"gw"``).
+    """
+
+    key: str
+    fn: SolverFn
+    deterministic: bool
+    batchable: bool = False
+    circuit: Optional[str] = None
+    budget: str = "readouts"
+    citation: str = ""
+    summary: str = ""
+    aliases: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.key or not isinstance(self.key, str):
+            raise ValidationError(f"solver key must be a non-empty string, got {self.key!r}")
+        if not callable(self.fn):
+            raise ValidationError(f"solver {self.key!r}: fn must be callable")
+        if self.budget not in BUDGET_SEMANTICS:
+            raise ValidationError(
+                f"solver {self.key!r}: budget must be one of {BUDGET_SEMANTICS}, "
+                f"got {self.budget!r}"
+            )
+        if self.batchable and self.circuit is None:
+            raise ValidationError(
+                f"solver {self.key!r}: batchable solvers must name their engine circuit"
+            )
+        if self.batchable and self.deterministic:
+            raise ValidationError(
+                f"solver {self.key!r}: batchable circuits are stochastic by construction"
+            )
 
 
 def _solve_lif_gw(graph: Graph, n_samples: int = 100, seed: RandomState = None, **kwargs) -> Cut:
@@ -67,29 +191,125 @@ def _solve_local_search(graph: Graph, n_samples: int = 100, seed: RandomState = 
     return local_search_maxcut(graph, n_restarts=max(1, n_samples // 10 or 1), seed=seed, **kwargs)
 
 
-#: Mapping of method keys to solver callables.
-SOLVERS: Dict[str, SolverFn] = {
-    "lif_gw": _solve_lif_gw,
-    "lif_tr": _solve_lif_tr,
-    "solver": _solve_gw,
-    "trevisan": _solve_trevisan,
-    "random": _solve_random,
-    "annealing": _solve_annealing,
-    "tempering": _solve_tempering,
-    "local_search": _solve_local_search,
-}
+#: Canonical-key → spec registry (aliases are not keys here).
+SOLVER_SPECS: Dict[str, SolverSpec] = {}
+
+#: Backward-compatible flat map: every key *and alias* → solver callable.
+SOLVERS: Dict[str, SolverFn] = {}
+
+
+def register_solver(spec: SolverSpec, overwrite: bool = False) -> SolverSpec:
+    """Add *spec* (and its aliases) to the registry and return it.
+
+    Raises :class:`ValidationError` when any of its names collides with an
+    existing registration, unless ``overwrite=True`` — in which case every
+    colliding spec is removed wholesale (key *and* aliases), so no stale
+    alias keeps serving a replaced callable.
+    """
+    names = (spec.key,) + tuple(spec.aliases)
+    colliding = {
+        old.key
+        for old in SOLVER_SPECS.values()
+        if any(name in (old.key,) + tuple(old.aliases) for name in names)
+    }
+    if colliding and not overwrite:
+        taken = sorted(name for name in names if name in SOLVERS)
+        raise ValidationError(
+            f"solver name(s) {taken} already registered; "
+            f"pass overwrite=True to replace"
+        )
+    for old_key in colliding:
+        old = SOLVER_SPECS.pop(old_key)
+        for name in (old.key,) + tuple(old.aliases):
+            SOLVERS.pop(name, None)
+    SOLVER_SPECS[spec.key] = spec
+    for name in names:
+        SOLVERS[name] = spec.fn
+    return spec
+
+
+for _spec in (
+    SolverSpec(
+        key="lif_gw", fn=_solve_lif_gw, deterministic=False, batchable=True,
+        circuit="lif_gw", budget="readouts", citation="Theilman+23 §III",
+        summary="stochastic LIF circuit sampling GW hyperplane roundings",
+    ),
+    SolverSpec(
+        key="lif_tr", fn=_solve_lif_tr, deterministic=False, batchable=True,
+        circuit="lif_tr", budget="readouts", citation="Theilman+23 §IV",
+        summary="stochastic LIF circuit with anti-Hebbian Trevisan dynamics",
+    ),
+    SolverSpec(
+        key="gw", fn=_solve_gw, deterministic=False, budget="roundings",
+        citation="GW95", aliases=("solver",),
+        summary="software Goemans-Williamson: Burer-Monteiro SDP + hyperplane rounding",
+    ),
+    SolverSpec(
+        key="trevisan", fn=_solve_trevisan, deterministic=True, budget="ignored",
+        citation="Trevisan12",
+        summary="deterministic simple-spectral cut (n_samples ignored)",
+    ),
+    SolverSpec(
+        key="random", fn=_solve_random, deterministic=False, budget="cuts",
+        citation="baseline",
+        summary="best of n_samples uniformly random cuts",
+    ),
+    SolverSpec(
+        key="annealing", fn=_solve_annealing, deterministic=False, budget="sweeps",
+        citation="KGV83",
+        summary="simulated annealing on the Ising encoding (n_samples sweeps)",
+    ),
+    SolverSpec(
+        key="tempering", fn=_solve_tempering, deterministic=False, budget="sweeps",
+        citation="Geyer91",
+        summary="parallel tempering on the Ising encoding (n_samples sweeps)",
+    ),
+    SolverSpec(
+        key="local_search", fn=_solve_local_search, deterministic=False, budget="restarts",
+        citation="baseline",
+        summary="greedy single-flip local search (n_samples/10 restarts)",
+    ),
+):
+    register_solver(_spec)
+del _spec
 
 
 def list_solvers() -> list[str]:
-    """Names of all registered solvers."""
+    """All registry names (canonical keys and aliases), sorted."""
     return sorted(SOLVERS.keys())
 
 
+def list_specs() -> list[SolverSpec]:
+    """All registered specs (one per canonical key), sorted by key."""
+    return [SOLVER_SPECS[k] for k in sorted(SOLVER_SPECS.keys())]
+
+
+def _unknown_solver_error(name: str) -> ValidationError:
+    message = f"unknown solver {name!r}; available: {list_solvers()}"
+    close = difflib.get_close_matches(str(name), list_solvers(), n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return ValidationError(message)
+
+
 def get_solver(name: str) -> SolverFn:
-    """Look up a solver by key; raises ``ValidationError`` for unknown names."""
+    """Look up a solver callable by key or alias.
+
+    Raises a :class:`ValidationError` that lists every registered name (and a
+    closest-match suggestion) for unknown *name*, so CLI and notebook typos
+    are self-diagnosing.
+    """
     try:
         return SOLVERS[name]
-    except KeyError as exc:
-        raise ValidationError(
-            f"unknown solver {name!r}; available: {list_solvers()}"
-        ) from exc
+    except KeyError:
+        raise _unknown_solver_error(name) from None
+
+
+def get_spec(name: str) -> SolverSpec:
+    """Look up a :class:`SolverSpec` by canonical key or alias."""
+    if name in SOLVER_SPECS:
+        return SOLVER_SPECS[name]
+    for spec in SOLVER_SPECS.values():
+        if name in spec.aliases:
+            return spec
+    raise _unknown_solver_error(name)

@@ -1,4 +1,18 @@
-"""Software Trevisan simple-spectral baseline (thin façade over repro.spectral)."""
+"""Software Trevisan simple-spectral baseline (thin façade over repro.spectral).
+
+Trevisan's algorithm cuts the graph by thresholding the minimum eigenvector
+of the normalised adjacency matrix — a deterministic O(m) rounding after one
+eigen-solve.  This module adapts :func:`repro.spectral.trevisan_simple_spectral`
+to the registry's uniform solver signature.
+
+Registry note: unlike every stochastic solver, this method takes **no**
+``n_samples`` budget — the registry wrapper accepts the argument for
+interface uniformity and ignores it (budget semantics ``"ignored"``), so
+arena leaderboards report its sample throughput as 0 rather than crediting
+it with work it never did.  ``seed`` only matters when the iterative
+eigen-solver backend needs a random starting vector; the returned cut is the
+same either way.
+"""
 
 from __future__ import annotations
 

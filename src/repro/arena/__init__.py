@@ -1,0 +1,47 @@
+"""Solver arena: capability-aware, cross-method MAXCUT comparison harness.
+
+The arena is the repo's answer to the paper's central comparative claim —
+stochastic LIF circuits vs. classical baselines — as a reusable subsystem:
+pick solvers from the registry, pick (or register) a graph suite, set one
+shared budget, and get a paired, reproducible leaderboard.
+
+Public API
+----------
+:func:`run_arena` / :class:`ArenaBudget`
+    Execute a comparison; batchable circuits ride the trial-parallel engine,
+    everything else goes through ``parallel_map``.
+:class:`ArenaResult` / :class:`ArenaEntry`
+    Results: per-(solver, graph) entries with arena-relative cut ratios,
+    wall time, throughput, and execution-path provenance; ``aggregate()``
+    produces leaderboard rows.
+:class:`GraphSuite` / :func:`register_suite` / :func:`list_suites` /
+:func:`build_suite`
+    Named, seed-deterministic benchmark graph collections.
+
+CLI: ``python -m repro compare --suite er-small --solvers lif_gw,gw,random``.
+See DESIGN.md §"Solver arena" and ``examples/solver_arena.py``.
+"""
+
+from repro.arena.arena import ArenaBudget, run_arena
+from repro.arena.results import ArenaEntry, ArenaResult
+from repro.arena.suite import (
+    SUITES,
+    GraphSuite,
+    build_suite,
+    get_suite,
+    list_suites,
+    register_suite,
+)
+
+__all__ = [
+    "ArenaBudget",
+    "ArenaEntry",
+    "ArenaResult",
+    "GraphSuite",
+    "SUITES",
+    "build_suite",
+    "get_suite",
+    "list_suites",
+    "register_suite",
+    "run_arena",
+]

@@ -1,0 +1,169 @@
+"""Result containers for the solver arena.
+
+An arena run produces one :class:`ArenaEntry` per (solver, graph) pair and
+wraps them in an :class:`ArenaResult` that knows how to rank solvers.  The
+entry dataclass is deliberately flat and JSON-safe: it registers itself with
+:func:`repro.experiments.runner.register_result_type` on import, so
+``save_results(path, "compare", result.entries, ...)`` round-trips through
+the standard experiment persistence layer.
+
+Cut ratios are *arena-relative*: ``cut_ratio = best_weight / best weight
+found by any competitor on that graph``, so the per-graph winner scores 1.0
+and the aggregate column reads as "fraction of the best-known cut this
+method recovers across the suite".  (Absolute optima are unknown for most
+suite graphs, which rules out a true approximation ratio.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArenaEntry", "ArenaResult"]
+
+
+@dataclass(frozen=True)
+class ArenaEntry:
+    """Outcome of one solver on one suite graph.
+
+    Attributes
+    ----------
+    solver:
+        Canonical registry key of the solver.
+    graph_name, n_vertices, n_edges, total_weight:
+        Identity and size of the graph.
+    best_weight:
+        Best cut weight across all trials.
+    mean_weight:
+        Mean of the per-trial best weights (equals ``best_weight`` for the
+        single-trial deterministic path).
+    cut_ratio:
+        ``best_weight`` relative to the best weight any solver in the arena
+        achieved on this graph (1.0 for the per-graph winner).
+    n_trials:
+        Independent trials actually run (1 for deterministic solvers).
+    n_samples:
+        Per-trial ``n_samples`` budget handed to the solver (0 when the
+        solver's budget semantics are ``"ignored"``).
+    elapsed_seconds:
+        Wall-clock time for all trials of this solver on this graph.
+    samples_per_second:
+        ``n_trials * n_samples / elapsed_seconds`` (0 when the budget is
+        ignored or the clock resolution was too coarse to measure).
+    used_engine:
+        True when the trials were executed by the batched trial-parallel
+        engine rather than per-trial solver calls.
+    backend:
+        Engine weight-backend name (``""`` off the engine path).
+    deterministic:
+        Capability flag copied from the solver's spec.
+    budget_semantics:
+        The spec's ``n_samples`` interpretation (``"readouts"``, ``"sweeps"``,
+        ...), copied so saved results are self-describing.
+    metadata:
+        Extras (engine round counts, early-stop info, ...).
+    """
+
+    solver: str
+    graph_name: str
+    n_vertices: int
+    n_edges: int
+    total_weight: float
+    best_weight: float
+    mean_weight: float
+    cut_ratio: float
+    n_trials: int
+    n_samples: int
+    elapsed_seconds: float
+    samples_per_second: float
+    used_engine: bool
+    backend: str = ""
+    deterministic: bool = False
+    budget_semantics: str = "readouts"
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ArenaResult:
+    """All entries of one arena run, plus the configuration that produced them.
+
+    Attributes
+    ----------
+    suite:
+        Suite key (or ``"custom"`` for ad-hoc graph lists).
+    solvers:
+        Canonical solver keys, in the order they ran.
+    graph_names:
+        Suite graphs, in order.
+    n_trials, n_samples, seed:
+        The shared budget and root seed.
+    entries:
+        One :class:`ArenaEntry` per (solver, graph).
+    elapsed_seconds:
+        Wall-clock time of the whole arena run.
+    """
+
+    suite: str
+    solvers: Tuple[str, ...]
+    graph_names: Tuple[str, ...]
+    n_trials: int
+    n_samples: int
+    seed: Optional[int]
+    entries: List[ArenaEntry]
+    elapsed_seconds: float = 0.0
+
+    def entries_for_graph(self, graph_name: str) -> List[ArenaEntry]:
+        """Entries of every solver on one graph, in solver order."""
+        return [e for e in self.entries if e.graph_name == graph_name]
+
+    def entries_for_solver(self, solver: str) -> List[ArenaEntry]:
+        """Entries of one solver across the suite, in graph order."""
+        return [e for e in self.entries if e.solver == solver]
+
+    def aggregate(self) -> List[Dict[str, object]]:
+        """Per-solver leaderboard rows, best mean cut ratio first.
+
+        Each row carries ``solver``, ``mean_ratio`` (mean per-graph cut
+        ratio), ``wins`` (graphs where the solver matched the arena best),
+        ``best_weight_total`` (sum of best weights), ``elapsed_seconds``,
+        ``samples_per_second`` (aggregate over the whole suite), and
+        ``used_engine``.
+        """
+        rows: List[Dict[str, object]] = []
+        for solver in self.solvers:
+            entries = self.entries_for_solver(solver)
+            if not entries:
+                continue
+            ratios = np.array([e.cut_ratio for e in entries], dtype=float)
+            elapsed = float(sum(e.elapsed_seconds for e in entries))
+            total_samples = sum(e.n_trials * e.n_samples for e in entries)
+            rows.append({
+                "solver": solver,
+                "mean_ratio": float(ratios.mean()),
+                "wins": int(np.sum(ratios >= 1.0 - 1e-12)),
+                "best_weight_total": float(sum(e.best_weight for e in entries)),
+                "elapsed_seconds": elapsed,
+                "samples_per_second": (total_samples / elapsed) if elapsed > 0 else 0.0,
+                "used_engine": all(e.used_engine for e in entries),
+            })
+        rows.sort(key=lambda r: (-r["mean_ratio"], r["elapsed_seconds"]))
+        return rows
+
+    def winner(self) -> Optional[str]:
+        """Solver key with the highest mean cut ratio (None for empty runs)."""
+        rows = self.aggregate()
+        return str(rows[0]["solver"]) if rows else None
+
+
+def _register_with_runner() -> None:
+    # Deferred to a function so a partially-initialised experiments package
+    # (runner imports nothing from arena at module scope) cannot deadlock
+    # the import graph.
+    from repro.experiments.runner import register_result_type
+
+    register_result_type(ArenaEntry)
+
+
+_register_with_runner()

@@ -7,6 +7,9 @@ engine      Run trial-parallel batched circuit simulation (repro.engine):
             many independent trials of one circuit on one graph in a single
             vectorised solve, with dense/sparse weight backends and optional
             early stopping; ``--compare`` also times the sequential path.
+compare     Race several registered solvers head-to-head over a graph suite
+            under one shared budget (repro.arena) and print per-graph tables
+            plus the aggregate leaderboard.
 figure3     Run a (reduced) Figure 3 Erdős–Rényi sweep.
 figure4     Run Figure 4 panels on empirical graphs.
 table1      Regenerate Table I rows.
@@ -24,6 +27,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.algorithms.registry import get_solver, list_solvers
+from repro.arena.suite import list_suites
 from repro.experiments.ablations import (
     run_device_imperfection_ablation,
     run_learning_rate_ablation,
@@ -111,6 +115,42 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 disables early stopping)")
     engine.add_argument("--compare", action="store_true",
                         help="also run the sequential per-trial path and report speedup")
+
+    # compare ----------------------------------------------------------------
+    compare = subparsers.add_parser(
+        "compare",
+        help="race registered solvers over a graph suite (repro.arena)",
+        description=(
+            "Run a subset of the solver registry head-to-head over a named "
+            "graph suite under one shared trial/sample budget. Batchable "
+            "circuit solvers ride the trial-parallel batched engine; "
+            "sequential solvers run their trials through parallel_map. "
+            "Prints one table per graph plus the aggregate leaderboard."
+        ),
+    )
+    compare.add_argument("--solvers", type=str, default="lif_gw,lif_tr,gw,trevisan,random",
+                         help="comma-separated registry keys (see `repro solve --help`)")
+    compare.add_argument("--suite", choices=list_suites(), default="er-small",
+                         help="graph suite to race on")
+    compare.add_argument("--budget", type=int, default=256, metavar="SAMPLES",
+                         help="per-trial n_samples budget shared by every solver")
+    compare.add_argument("--trials", type=int, default=4,
+                         help="independent trials per stochastic solver and graph")
+    compare.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                         help="optional wall-clock cap per (solver, graph) cell "
+                              "(capped cells run trials serially, overriding --workers)")
+    compare.add_argument("--backend", type=str, default="auto",
+                         help="engine weight backend for batchable solvers")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="process workers for sequential solvers' trials")
+    compare.add_argument("--no-engine", action="store_true",
+                         help="run batchable circuits through the sequential path too")
+    compare.add_argument("--plot", action="store_true",
+                         help="render an ASCII bar chart of the leaderboard")
+    # SUPPRESS (not None) so a global `repro --save out.json compare ...`
+    # isn't clobbered by this subparser's default when the flag is omitted.
+    compare.add_argument("--save", type=str, default=argparse.SUPPRESS, metavar="FILE",
+                         help="write results to this JSON file (same as the global --save)")
 
     # figure3 ----------------------------------------------------------------
     figure3 = subparsers.add_parser("figure3", help="Erdős–Rényi convergence sweep (Figure 3)")
@@ -250,6 +290,51 @@ def _command_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.arena import ArenaBudget, run_arena
+    from repro.experiments.reporting import format_arena_report
+    from repro.plotting.ascii import render_leaderboard
+    from repro.utils.validation import ValidationError
+
+    solvers = [name.strip() for name in args.solvers.split(",") if name.strip()]
+    try:
+        result = run_arena(
+            solvers,
+            suite=args.suite,
+            budget=ArenaBudget(
+                n_trials=args.trials,
+                n_samples=args.budget,
+                max_seconds=args.max_seconds,
+            ),
+            seed=args.seed,
+            backend=args.backend,
+            use_engine=not args.no_engine,
+            parallel=ParallelConfig(n_workers=args.workers),
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_arena_report(result))
+    if args.plot:
+        print()
+        print(render_leaderboard(result))
+    winner = result.winner()
+    if winner is not None:
+        print(f"\nwinner: {winner}  ({result.elapsed_seconds:.3f}s total)")
+    if args.save:
+        save_results(
+            args.save, "compare", result.entries,
+            config={
+                "suite": result.suite, "solvers": list(result.solvers),
+                "graphs": list(result.graph_names), "n_trials": result.n_trials,
+                "n_samples": result.n_samples, "seed": result.seed,
+                "backend": args.backend, "use_engine": not args.no_engine,
+            },
+        )
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
 def _command_figure3(args: argparse.Namespace) -> int:
     config = Figure3Config(
         sizes=tuple(args.sizes),
@@ -328,6 +413,7 @@ def _command_graphs(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _command_solve,
     "engine": _command_engine,
+    "compare": _command_compare,
     "figure3": _command_figure3,
     "figure4": _command_figure4,
     "table1": _command_table1,

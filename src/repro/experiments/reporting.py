@@ -17,6 +17,8 @@ __all__ = [
     "format_figure3_report",
     "format_figure4_report",
     "format_table1_report",
+    "format_arena_leaderboard",
+    "format_arena_report",
 ]
 
 
@@ -92,6 +94,74 @@ def format_figure4_report(panels: Sequence[Figure4Panel]) -> str:
             f"relative cut weight vs samples (solver best = {panel.solver_best_weight:.0f})"
         )
         sections.append(title + "\n" + format_table(headers, rows))
+    return "\n\n".join(sections)
+
+
+def format_arena_leaderboard(result) -> str:
+    """Render the aggregate leaderboard of an arena run.
+
+    *result* is a :class:`repro.arena.results.ArenaResult` (typed loosely to
+    keep the reporting layer import-free of the arena).  Rows come from
+    ``result.aggregate()``: best mean cut ratio first, with per-suite wall
+    time, throughput, and whether the solver rode the batched engine.
+    """
+    headers = ["rank", "solver", "mean ratio", "wins", "best total",
+               "time (s)", "samples/s", "engine"]
+    rows = []
+    for rank, agg in enumerate(result.aggregate(), start=1):
+        rows.append([
+            rank,
+            agg["solver"],
+            agg["mean_ratio"],
+            f"{agg['wins']}/{len(result.graph_names)}",
+            f"{agg['best_weight_total']:g}",
+            agg["elapsed_seconds"],
+            f"{agg['samples_per_second']:,.0f}",
+            "yes" if agg["used_engine"] else "no",
+        ])
+    title = (
+        f"Arena leaderboard — suite {result.suite!r} "
+        f"({len(result.graph_names)} graphs, {result.n_trials} trials x "
+        f"{result.n_samples} samples, seed {result.seed})"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_arena_report(result) -> str:
+    """Render an arena run: one per-graph table plus the aggregate leaderboard.
+
+    Per-graph tables show each solver's best / mean cut weight, its
+    arena-relative ratio (per-graph best = 1.0), wall time, and throughput;
+    the ``n_samples`` column reflects what the solver actually consumed under
+    its budget semantics (0 when it ignores the budget).
+    """
+    sections = []
+    for graph_name in result.graph_names:
+        entries = result.entries_for_graph(graph_name)
+        if not entries:
+            continue
+        first = entries[0]
+        headers = ["solver", "best", "mean", "ratio", "trials", "samples",
+                   "time (s)", "samples/s", "path"]
+        rows = []
+        for entry in sorted(entries, key=lambda e: -e.cut_ratio):
+            rows.append([
+                entry.solver,
+                f"{entry.best_weight:g}",
+                f"{entry.mean_weight:g}",
+                entry.cut_ratio,
+                entry.n_trials,
+                entry.n_samples,
+                entry.elapsed_seconds,
+                f"{entry.samples_per_second:,.0f}",
+                f"engine[{entry.backend}]" if entry.used_engine else "sequential",
+            ])
+        title = (
+            f"{graph_name} (n={first.n_vertices}, m={first.n_edges}, "
+            f"total weight {first.total_weight:g})"
+        )
+        sections.append(title + "\n" + format_table(headers, rows))
+    sections.append(format_arena_leaderboard(result))
     return "\n\n".join(sections)
 
 

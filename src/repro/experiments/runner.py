@@ -35,13 +35,32 @@ __all__ = [
     "results_to_jsonable",
     "save_results",
     "load_results",
+    "register_result_type",
     "run_circuit_trials",
     "ExperimentRecord",
 ]
 
 PathLike = Union[str, os.PathLike]
 
-_RESULT_TYPES = (Figure3Cell, Figure4Panel, Table1Row, AblationPoint, SolveResult)
+_RESULT_TYPES: tuple = (Figure3Cell, Figure4Panel, Table1Row, AblationPoint, SolveResult)
+
+
+def register_result_type(cls: type) -> type:
+    """Allow dataclass *cls* through :func:`results_to_jsonable`.
+
+    Extension point for downstream subsystems (the solver arena registers
+    its :class:`repro.arena.results.ArenaEntry` this way) so this module
+    never has to import them.  Returns *cls*, so it can be used as a class
+    decorator.  Idempotent.
+    """
+    global _RESULT_TYPES
+    if not (dataclasses.is_dataclass(cls) and isinstance(cls, type)):
+        raise ValidationError(
+            f"result types must be dataclasses, got {cls!r}"
+        )
+    if cls not in _RESULT_TYPES:
+        _RESULT_TYPES = _RESULT_TYPES + (cls,)
+    return cls
 
 
 def _to_jsonable(value: Any) -> Any:

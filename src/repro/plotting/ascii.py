@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.utils.validation import ValidationError
 
-__all__ = ["ascii_line_plot", "ascii_histogram", "render_curves"]
+__all__ = ["ascii_line_plot", "ascii_histogram", "ascii_bar_chart", "render_curves", "render_leaderboard"]
 
 #: Plot symbols assigned to series in insertion order (mirrors the paper's legend).
 _SERIES_SYMBOLS = "ox^*+#%@"
@@ -132,6 +132,60 @@ def ascii_histogram(
         bar = "#" * int(round(count / peak * width))
         lines.append(f"{edges[i]:10.3f} - {edges[i + 1]:10.3f} | {bar} {count}")
     return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Bars are scaled to the largest value; labels are right-aligned so the
+    bars share a common baseline.  Used by ``repro compare --plot`` for the
+    arena leaderboard.
+    """
+    labels = [str(label) for label in labels]
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("values must be a non-empty 1-D sequence")
+    if len(labels) != arr.size:
+        raise ValidationError(
+            f"labels and values must have the same length, got {len(labels)} and {arr.size}"
+        )
+    if width < 1:
+        raise ValidationError("width must be >= 1")
+    if np.any(arr < 0):
+        raise ValidationError("bar values must be non-negative")
+    peak = float(arr.max()) if arr.max() > 0 else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, arr):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value_format.format(float(value))}"
+        )
+    return "\n".join(lines)
+
+
+def render_leaderboard(result, width: int = 50) -> str:
+    """Bar chart of an arena run's aggregate mean cut ratios (best first).
+
+    *result* is a :class:`repro.arena.results.ArenaResult`; only its
+    ``aggregate()`` rows are consulted, keeping the plotting layer free of
+    arena imports.
+    """
+    rows = result.aggregate()
+    if not rows:
+        raise ValidationError("arena result has no entries to plot")
+    return ascii_bar_chart(
+        [str(row["solver"]) for row in rows],
+        [float(row["mean_ratio"]) for row in rows],
+        width=width,
+        title=f"mean cut ratio by solver (suite {result.suite!r})",
+    )
 
 
 def render_curves(

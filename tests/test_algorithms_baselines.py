@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.algorithms.random_baseline import random_baseline
-from repro.algorithms.registry import SOLVERS, get_solver, list_solvers
+from repro.algorithms.registry import (
+    SOLVER_SPECS,
+    SOLVERS,
+    SolverSpec,
+    get_solver,
+    get_spec,
+    list_solvers,
+    list_specs,
+    register_solver,
+)
 from repro.algorithms.trevisan import trevisan_spectral
 from repro.cuts.exact import exact_maxcut_value
 from repro.graphs.generators import erdos_renyi
@@ -61,6 +70,101 @@ class TestRegistry:
     def test_get_solver_unknown_raises(self):
         with pytest.raises(ValidationError):
             get_solver("quantum_annealer")
+
+    def test_get_solver_unknown_error_lists_available_solvers(self):
+        with pytest.raises(ValidationError) as excinfo:
+            get_solver("quantum_annealer")
+        message = str(excinfo.value)
+        assert "quantum_annealer" in message
+        for name in list_solvers():
+            assert name in message
+
+    def test_get_solver_typo_suggests_closest_match(self):
+        with pytest.raises(ValidationError, match="did you mean 'lif_gw'"):
+            get_solver("lif_gww")
+
+    def test_gw_alias_resolves_to_same_callable(self):
+        # "gw" is the canonical key; "solver" is the historical alias.
+        assert get_solver("gw") is get_solver("solver")
+        assert get_spec("solver").key == "gw"
+
+    def test_get_spec_unknown_raises_with_listing(self):
+        with pytest.raises(ValidationError, match="available"):
+            get_spec("quantum_annealer")
+
+
+class TestSolverSpecs:
+    def test_every_canonical_key_has_a_spec(self):
+        assert set(SOLVER_SPECS) == {
+            "lif_gw", "lif_tr", "gw", "trevisan", "random",
+            "annealing", "tempering", "local_search",
+        }
+
+    def test_specs_carry_capability_metadata(self):
+        assert get_spec("lif_gw").batchable
+        assert get_spec("lif_gw").circuit == "lif_gw"
+        assert get_spec("trevisan").deterministic
+        assert get_spec("trevisan").budget == "ignored"
+        assert get_spec("annealing").budget == "sweeps"
+        assert not get_spec("gw").batchable
+
+    def test_list_specs_sorted_by_key(self):
+        keys = [spec.key for spec in list_specs()]
+        assert keys == sorted(keys)
+
+    def test_register_solver_rejects_collisions(self):
+        spec = SolverSpec(key="random", fn=lambda g, **kw: None, deterministic=True,
+                          budget="ignored")
+        with pytest.raises(ValidationError, match="already registered"):
+            register_solver(spec)
+
+    def test_register_and_lookup_custom_solver(self):
+        def constant_solver(graph, n_samples=1, seed=None, **kwargs):
+            from repro.cuts.random_cut import random_cut
+            return random_cut(graph, seed=0)
+
+        spec = SolverSpec(key="_test_constant", fn=constant_solver,
+                          deterministic=True, budget="ignored",
+                          summary="test-only solver")
+        try:
+            register_solver(spec)
+            assert "_test_constant" in list_solvers()
+            assert get_spec("_test_constant") is spec
+            assert get_solver("_test_constant") is constant_solver
+        finally:
+            SOLVER_SPECS.pop("_test_constant", None)
+            SOLVERS.pop("_test_constant", None)
+
+    def test_register_overwrite_purges_replaced_aliases(self):
+        def fn_a(graph, **kw):
+            return None
+
+        def fn_b(graph, **kw):
+            return None
+
+        try:
+            register_solver(SolverSpec(key="_test_ow", fn=fn_a, deterministic=True,
+                                       budget="ignored", aliases=("_test_ow_alias",)))
+            # Replace under the same key but with no aliases: the old alias
+            # must not keep serving the old callable.
+            register_solver(SolverSpec(key="_test_ow", fn=fn_b, deterministic=True,
+                                       budget="ignored"), overwrite=True)
+            assert get_solver("_test_ow") is fn_b
+            assert "_test_ow_alias" not in SOLVERS
+            with pytest.raises(ValidationError):
+                get_solver("_test_ow_alias")
+        finally:
+            SOLVER_SPECS.pop("_test_ow", None)
+            SOLVERS.pop("_test_ow", None)
+            SOLVERS.pop("_test_ow_alias", None)
+
+    def test_batchable_spec_requires_circuit(self):
+        with pytest.raises(ValidationError, match="engine circuit"):
+            SolverSpec(key="x", fn=lambda g: None, deterministic=False, batchable=True)
+
+    def test_invalid_budget_semantics_rejected(self):
+        with pytest.raises(ValidationError, match="budget"):
+            SolverSpec(key="x", fn=lambda g: None, deterministic=True, budget="bogus")
 
     @pytest.mark.parametrize("name", ["solver", "trevisan", "random"])
     def test_classical_solvers_run(self, name):

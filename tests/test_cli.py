@@ -93,6 +93,57 @@ class TestCommands:
         assert code == 0
         assert "rank_4" in capsys.readouterr().out
 
+    def test_compare_sequential_solvers(self, capsys):
+        code = main([
+            "--seed", "7",
+            "compare", "--suite", "er-small", "--solvers", "random,trevisan",
+            "--budget", "16", "--trials", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Arena leaderboard" in out
+        assert "winner:" in out
+
+    def test_compare_engine_solver_with_save(self, tmp_path, capsys):
+        out_file = tmp_path / "compare.json"
+        code = main([
+            "--seed", "8",
+            "compare", "--suite", "er-small", "--solvers", "lif_tr,random",
+            "--budget", "16", "--trials", "2", "--plot", "--save", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The batchable circuit must have taken the engine path.
+        assert "engine[" in out
+        assert "mean cut ratio" in out  # --plot bar chart
+        payload = json.loads(out_file.read_text())
+        assert payload["experiment"] == "compare"
+        assert payload["config"]["suite"] == "er-small"
+        engine_flags = {r["solver"]: r["used_engine"] for r in payload["results"]}
+        assert engine_flags["lif_tr"] is True
+        assert engine_flags["random"] is False
+
+    def test_compare_honors_global_save_flag(self, tmp_path, capsys):
+        out_file = tmp_path / "global-save.json"
+        code = main([
+            "--save", str(out_file),
+            "compare", "--suite", "er-small", "--solvers", "random",
+            "--budget", "8", "--trials", "1",
+        ])
+        assert code == 0
+        assert out_file.exists()
+        assert json.loads(out_file.read_text())["experiment"] == "compare"
+
+    def test_compare_unknown_solver_is_friendly_error(self, capsys):
+        code = main(["compare", "--solvers", "random,quantum"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown solver" in err
+
+    def test_compare_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--suite", "not-a-suite"])
+
     def test_solve_from_edge_list_file(self, tmp_path, capsys):
         graph_file = tmp_path / "toy.txt"
         graph_file.write_text("0 1\n1 2\n2 0\n")
