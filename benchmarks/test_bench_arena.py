@@ -12,11 +12,11 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import sample_budget
-from repro.arena import ArenaBudget, run_arena
 from repro.experiments.reporting import format_arena_leaderboard
 from repro.graphs.generators import erdos_renyi
+from repro.workloads import arena_result_from_report, run_workload
 
-SOLVERS = ["lif_tr", "random", "trevisan"]
+SOLVERS = ("lif_tr", "random", "trevisan")
 
 
 @pytest.fixture(scope="module")
@@ -31,15 +31,15 @@ def arena_graphs():
 @pytest.mark.parametrize("use_engine", [True, False], ids=["engine", "sequential"])
 def test_bench_arena_routing(benchmark, arena_graphs, use_engine):
     """Time a full arena run with and without engine routing."""
-    budget = ArenaBudget(n_trials=8, n_samples=sample_budget(128, 1024))
-
-    result = benchmark.pedantic(
-        run_arena,
-        args=(SOLVERS,),
-        kwargs={"suite": arena_graphs, "budget": budget, "seed": 17,
+    report = benchmark.pedantic(
+        run_workload,
+        args=("arena",),
+        kwargs={"solvers": SOLVERS, "suite": arena_graphs, "trials": 8,
+                "samples": sample_budget(128, 1024), "seed": 17,
                 "use_engine": use_engine},
         iterations=1, rounds=1,
     )
+    result = arena_result_from_report(report)
 
     entries = {e.solver: e for e in result.entries_for_graph("arena_er80")}
     assert entries["lif_tr"].used_engine is use_engine

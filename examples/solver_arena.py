@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import argparse
 
-from repro.arena import ArenaBudget, list_suites, run_arena
+from repro.arena import list_suites
 from repro.experiments.reporting import format_arena_report
 from repro.plotting.ascii import render_leaderboard
+from repro.workloads import arena_result_from_report, run_workload
 
 
 def main() -> None:
@@ -36,12 +37,17 @@ def main() -> None:
     args = parser.parse_args()
 
     solvers = [name.strip() for name in args.solvers.split(",") if name.strip()]
-    result = run_arena(
-        solvers,
+    # The arena is a registered workload; the classic ArenaResult view is
+    # reconstructed from the uniform RunReport for the report formatters.
+    report = run_workload(
+        "arena",
+        solvers=tuple(solvers),
         suite=args.suite,
-        budget=ArenaBudget(n_trials=args.trials, n_samples=args.budget),
+        trials=args.trials,
+        samples=args.budget,
         seed=args.seed,
     )
+    result = arena_result_from_report(report)
 
     print(format_arena_report(result))
     print()

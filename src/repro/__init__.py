@@ -10,10 +10,14 @@ The library implements, in pure NumPy/SciPy:
 * the software baselines (Goemans-Williamson, Trevisan simple spectral,
   random cuts), and
 * the experiment harness regenerating the paper's Figure 3, Figure 4 and
-  Table I, plus the ablations its Discussion calls for, and
+  Table I, plus the ablations its Discussion calls for,
 * a capability-aware solver registry with a cross-method comparison arena
-  (:mod:`repro.arena`, ``python -m repro compare``) racing circuits against
-  the classical baselines over named graph suites under a shared budget.
+  (:mod:`repro.arena`) racing circuits against the classical baselines over
+  named graph suites under a shared budget, and
+* the **unified workload API** (:mod:`repro.workloads`, ``python -m repro
+  run <workload>``): one declarative :class:`WorkloadSpec` + :class:`Session`
+  runner behind every experiment, arena race, and engine solve, returning a
+  uniform :class:`RunReport`.
 
 Quickstart
 ----------
@@ -93,6 +97,19 @@ from repro.arena import (
     register_suite,
     run_arena,
 )
+from repro.workloads import (
+    Budget,
+    ExecutionPolicy,
+    GraphSource,
+    RunReport,
+    Session,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    register_workload,
+    run_workload,
+)
 from repro.ising import (
     IsingModel,
     maxcut_to_ising,
@@ -169,6 +186,18 @@ __all__ = [
     "list_suites",
     "register_suite",
     "run_arena",
+    # unified workload API
+    "Budget",
+    "ExecutionPolicy",
+    "GraphSource",
+    "RunReport",
+    "Session",
+    "Workload",
+    "WorkloadSpec",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "run_workload",
     # ising baselines
     "IsingModel",
     "maxcut_to_ising",

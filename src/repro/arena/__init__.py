@@ -7,9 +7,6 @@ shared budget, and get a paired, reproducible leaderboard.
 
 Public API
 ----------
-:func:`run_arena` / :class:`ArenaBudget`
-    Execute a comparison; batchable circuits ride the trial-parallel engine,
-    everything else goes through ``parallel_map``.
 :class:`ArenaResult` / :class:`ArenaEntry`
     Results: per-(solver, graph) entries with arena-relative cut ratios,
     wall time, throughput, and execution-path provenance; ``aggregate()``
@@ -17,9 +14,15 @@ Public API
 :class:`GraphSuite` / :func:`register_suite` / :func:`list_suites` /
 :func:`build_suite`
     Named, seed-deterministic benchmark graph collections.
+:func:`run_arena` / :class:`ArenaBudget`
+    Deprecated shim / alias over the unified workload API — the canonical
+    entry point is ``repro.workloads.run_workload("arena", ...)`` (CLI:
+    ``python -m repro run arena``), whose generic executor routes batchable
+    circuits onto the trial-parallel engine and everything else through
+    ``parallel_map``.
 
-CLI: ``python -m repro compare --suite er-small --solvers lif_gw,gw,random``.
-See DESIGN.md §"Solver arena" and ``examples/solver_arena.py``.
+See DESIGN.md §"Workload API" and §"Solver arena", and
+``examples/solver_arena.py``.
 """
 
 from repro.arena.arena import ArenaBudget, run_arena

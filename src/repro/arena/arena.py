@@ -1,179 +1,59 @@
 """The solver arena: head-to-head comparison of registered MAXCUT methods.
 
-:func:`run_arena` races any subset of the solver registry
-(:mod:`repro.algorithms.registry`) over a graph suite
-(:mod:`repro.arena.suite`) under one shared budget, producing an
-:class:`repro.arena.results.ArenaResult` leaderboard.  Execution is routed by
-capability:
+Since the Unified Workload API landed, the arena *is* a registered workload:
+``run_workload("arena", solvers=..., suite=..., trials=..., samples=...)``
+races any subset of the solver registry (:mod:`repro.algorithms.registry`)
+over a graph suite (:mod:`repro.arena.suite`) through the generic
+capability-routed executor (:mod:`repro.workloads.executor`), producing a
+:class:`repro.workloads.RunReport` whose records are
+:class:`repro.arena.results.ArenaEntry` rows.  Execution routing, the
+fairness contract, and the paired ``SeedSequence(seed, spawn_key=(g, i))``
+seeding convention are documented there.
 
-* **Batchable circuits** (``lif_gw``, ``lif_tr``) run through the
-  trial-parallel batched engine via
-  :func:`repro.experiments.runner.run_circuit_trials` — all trials of a
-  (solver, graph) cell are simulated in one vectorised solve.
-* **Sequential stochastic solvers** (``gw``, ``random``, ``annealing``, ...)
-  run their trials through :func:`repro.parallel.pool.parallel_map` with
-  per-trial seeds.
-* **Deterministic solvers** (``trevisan``) run exactly once per graph —
-  extra trials would reproduce the same cut.
-
-Fairness contract
------------------
-Every stochastic solver receives the same ``n_trials`` and the same
-per-trial ``n_samples`` budget; what a "sample" costs differs by method (see
-the registry's budget-semantics table), so the leaderboard reports wall time
-and samples/second alongside cut quality rather than pretending the budgets
-are equivalent.  Trial *i* on suite graph *g* is seeded with
-``SeedSequence(seed, spawn_key=(g, i))`` on **both** the engine and the
-sequential path, so comparisons are paired and reproducible.
+:func:`run_arena` remains as a deprecation shim: it builds the same spec,
+runs the same session, and returns the classic
+:class:`~repro.arena.results.ArenaResult` view — while emitting a
+:class:`DeprecationWarning` pointing at the workload API.
+:class:`ArenaBudget` is now an alias of the unified
+:class:`repro.workloads.Budget`.
 
 Quickstart
 ----------
+>>> import warnings
 >>> from repro.arena import run_arena
->>> result = run_arena(["random", "trevisan"], suite="er-small",
-...                    n_trials=2, n_samples=32, seed=0)
+>>> with warnings.catch_warnings():
+...     warnings.simplefilter("ignore", DeprecationWarning)
+...     result = run_arena(["random", "trevisan"], suite="er-small",
+...                        n_trials=2, n_samples=32, seed=0)
 >>> result.winner() in {"random", "trevisan"}
 True
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Optional, Sequence, Union
 
-import numpy as np
-
-from repro.algorithms.registry import SolverSpec, get_spec
-from repro.analysis.ratios import relative_cut_weight
-from repro.arena.results import ArenaEntry, ArenaResult
-from repro.arena.suite import GraphSuite, build_suite
-from repro.engine.sampler import trial_seed_sequences
-from repro.experiments import runner as _runner
+from repro.arena.results import ArenaResult
+from repro.arena.suite import GraphSuite
 from repro.graphs.graph import Graph
-from repro.parallel.pool import ParallelConfig, parallel_map
-from repro.utils.validation import ValidationError
+from repro.parallel.pool import ParallelConfig
+from repro.workloads.paper import arena_result_from_report
+from repro.workloads.registry import get_workload
+from repro.workloads.session import Session
+from repro.workloads.spec import Budget, ExecutionPolicy, GraphSource, WorkloadSpec
 
 __all__ = ["ArenaBudget", "run_arena"]
 
-
-@dataclasses.dataclass(frozen=True)
-class ArenaBudget:
-    """Shared per-(solver, graph) budget for an arena run.
-
-    Attributes
-    ----------
-    n_trials:
-        Independent trials for every stochastic solver (deterministic
-        solvers always run once).
-    n_samples:
-        Per-trial ``n_samples`` handed to each solver; interpreted per the
-        solver's budget semantics (read-outs, sweeps, restarts, ...).
-    max_seconds:
-        Optional wall-clock cap per (solver, graph) cell.  The sequential
-        path stops launching further trials once exceeded (at least one
-        trial always completes, and the trial count is recorded).  The
-        engine path executes its batch in one shot, so the cap is advisory
-        there and only recorded in the entry metadata when overrun.
-        Setting a cap forces capped cells onto a serial trial loop —
-        ``parallel_map`` cannot cancel in-flight work — so it overrides any
-        ``parallel`` / ``--workers`` configuration for those cells.
-    """
-
-    n_trials: int = 4
-    n_samples: int = 256
-    max_seconds: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.n_trials < 1:
-            raise ValidationError(f"n_trials must be >= 1, got {self.n_trials}")
-        if self.n_samples < 1:
-            raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
-        if self.max_seconds is not None and self.max_seconds <= 0:
-            raise ValidationError(f"max_seconds must be positive, got {self.max_seconds}")
-
-
-def _graph_root_seed(seed: int, graph_index: int) -> np.random.SeedSequence:
-    """Root seed of suite graph *graph_index* (trials are its spawn children)."""
-    return np.random.SeedSequence(entropy=int(seed), spawn_key=(graph_index,))
-
-
-def _sequential_trial(task: tuple) -> float:
-    """One trial of a sequential solver (module-level for pickling).
-
-    The task carries the solver *callable* itself, not its registry key:
-    worker processes under non-fork start methods re-import the registry
-    without runtime registrations, so a key lookup there would fail for
-    custom solvers.  Pickling the function by reference sidesteps that.
-    """
-    solver_fn, graph, n_samples, seed_seq = task
-    cut = solver_fn(graph, n_samples=n_samples, seed=seed_seq)
-    return float(cut.weight)
-
-
-def _run_engine_cell(
-    spec: SolverSpec,
-    graph: Graph,
-    budget: ArenaBudget,
-    root: np.random.SeedSequence,
-    backend: str,
-) -> Tuple[float, float, int, int, dict]:
-    """Run one batchable cell through the engine; returns core measurements."""
-    result = _runner.run_circuit_trials(
-        graph=graph,
-        circuit=spec.circuit,
-        n_trials=budget.n_trials,
-        n_samples=budget.n_samples,
-        seed=root,
-        backend=backend,
-    )
-    weights = np.asarray(result.trial_best_weights, dtype=float)
-    metadata = {
-        "engine_elapsed_seconds": float(result.elapsed_seconds),
-        "engine_backend": result.backend_name,
-        "n_rounds": int(result.n_rounds),
-        "early_stopped": bool(result.early_stopped),
-    }
-    best = float(weights.max()) if weights.size else 0.0
-    mean = float(weights.mean()) if weights.size else 0.0
-    return best, mean, int(result.n_trials), int(result.n_rounds), metadata
-
-
-def _run_sequential_cell(
-    spec: SolverSpec,
-    graph: Graph,
-    budget: ArenaBudget,
-    root: np.random.SeedSequence,
-    parallel: Optional[ParallelConfig],
-) -> Tuple[float, float, int, int, dict]:
-    """Run one non-batchable cell: 1 trial if deterministic, else the budget."""
-    n_trials = 1 if spec.deterministic else budget.n_trials
-    # The engine's own derivation, so the two paths stay paired by
-    # construction rather than by parallel re-implementation.
-    seeds = trial_seed_sequences(root, n_trials)
-    tasks = [(spec.fn, graph, budget.n_samples, s) for s in seeds]
-    metadata: dict = {}
-    if budget.max_seconds is not None and n_trials > 1:
-        # A wall-clock cap needs a serial loop with a clock check between
-        # trials; parallel_map has no mid-flight cancellation.
-        weights: List[float] = []
-        started = time.perf_counter()
-        for task in tasks:
-            weights.append(_sequential_trial(task))
-            if time.perf_counter() - started >= budget.max_seconds:
-                break
-        if len(weights) < n_trials:
-            metadata["budget_truncated"] = True
-        n_trials = len(weights)
-    else:
-        weights = parallel_map(_sequential_trial, tasks, config=parallel)
-    arr = np.asarray(weights, dtype=float)
-    return float(arr.max()), float(arr.mean()), n_trials, budget.n_samples, metadata
+#: Backward-compatible alias: the arena's budget *is* the unified workload
+#: budget (`repro.workloads.Budget`) since the Workload API consolidation.
+ArenaBudget = Budget
 
 
 def run_arena(
     solvers: Sequence[str],
     suite: Union[str, GraphSuite, Sequence[Graph]] = "er-small",
-    budget: Optional[ArenaBudget] = None,
+    budget: Optional[Budget] = None,
     *,
     n_trials: int = 4,
     n_samples: int = 256,
@@ -182,7 +62,15 @@ def run_arena(
     use_engine: bool = True,
     parallel: Optional[ParallelConfig] = None,
 ) -> ArenaResult:
-    """Race *solvers* over *suite* under one shared budget.
+    """Race *solvers* over *suite* under one shared budget (deprecated shim).
+
+    .. deprecated::
+        Use ``repro.workloads.run_workload("arena", solvers=..., suite=...,
+        trials=..., samples=...)`` (or an explicit :class:`WorkloadSpec`
+        through a :class:`~repro.workloads.Session`).  This shim builds the
+        identical spec, runs the identical session, and adapts the report
+        back into an :class:`ArenaResult`, so results match the new path
+        exactly.
 
     Parameters
     ----------
@@ -197,21 +85,17 @@ def run_arena(
     seed:
         Root seed; trial *i* on graph *g* uses
         ``SeedSequence(seed, spawn_key=(g, i))`` on every path.  ``None``
-        follows the library convention and draws fresh root entropy once;
-        the drawn value is recorded in ``ArenaResult.seed`` so the run
-        remains reproducible after the fact.
+        draws fresh root entropy once; the drawn value is recorded in
+        ``ArenaResult.seed``.
     backend:
         Engine weight backend for batchable solvers (``"auto"`` default).
     use_engine:
-        When False, batchable solvers fall back to the sequential path too
+        When False, batchable solvers fall back to the per-trial path too
         (reference timings; results stay comparable thanks to the shared
         seeding contract).
     parallel:
-        :class:`ParallelConfig` for sequential solvers' trials.  The default
-        runs trials serially in-process; pass ``ParallelConfig(n_workers=k)``
-        to fan trials out over processes.  Ignored for cells governed by
-        ``budget.max_seconds`` — a wall-clock cap requires the serial loop
-        (see :class:`ArenaBudget`).
+        :class:`ParallelConfig` for sequential solvers' trials; only its
+        ``n_workers`` is carried into the workload execution policy.
 
     Returns
     -------
@@ -219,111 +103,33 @@ def run_arena(
         One entry per (solver, graph), with arena-relative cut ratios
         (per-graph best = 1.0) filled in.
     """
-    if budget is None:
-        budget = ArenaBudget(n_trials=n_trials, n_samples=n_samples)
-    parallel = parallel or ParallelConfig(n_workers=1)
-    if seed is None:
-        # Library convention: None means fresh entropy, not seed 0.  Draw it
-        # once so the whole run (suite construction included) shares one
-        # reproducible root, recorded in the result.
-        seed = int(np.random.SeedSequence().entropy)
-
-    if not solvers:
-        raise ValidationError("solvers must name at least one registered solver")
-    specs: List[SolverSpec] = []
-    for name in solvers:
-        spec = get_spec(name)
-        if any(s.key == spec.key for s in specs):
-            raise ValidationError(
-                f"solver {spec.key!r} listed more than once (aliases resolve "
-                f"to the same method)"
-            )
-        specs.append(spec)
-
-    if isinstance(suite, str):
-        suite_key = suite
-        graphs = build_suite(suite, seed=int(seed))
-    elif isinstance(suite, GraphSuite):
-        suite_key = suite.key
-        graphs = suite.build(int(seed))
-    else:
-        suite_key = "custom"
-        graphs = list(suite)
-        if not graphs:
-            raise ValidationError("suite must contain at least one graph")
-    names = [graph.name for graph in graphs]
-    if len(set(names)) != len(names):
-        # Entries, ratios, and report tables are all keyed by graph name;
-        # duplicates would silently merge distinct graphs' results.
-        duplicates = sorted({n for n in names if names.count(n) > 1})
-        raise ValidationError(
-            f"suite graphs must have unique names; duplicated: {duplicates} "
-            f"(pass name=... to the generators)"
-        )
-
-    started = time.perf_counter()
-    entries: List[ArenaEntry] = []
-    for g, graph in enumerate(graphs):
-        root = _graph_root_seed(seed, g)
-        for spec in specs:
-            cell_started = time.perf_counter()
-            on_engine = bool(use_engine and spec.batchable)
-            if on_engine:
-                best, mean, trials_run, samples_run, metadata = _run_engine_cell(
-                    spec, graph, budget, root, backend
-                )
-            else:
-                best, mean, trials_run, samples_run, metadata = _run_sequential_cell(
-                    spec, graph, budget, root, parallel
-                )
-            elapsed = time.perf_counter() - cell_started
-            if budget.max_seconds is not None and elapsed > budget.max_seconds:
-                metadata.setdefault("budget_overrun_seconds",
-                                    float(elapsed - budget.max_seconds))
-            if spec.budget == "ignored":
-                samples_run = 0
-            total_samples = trials_run * samples_run
-            entries.append(ArenaEntry(
-                solver=spec.key,
-                graph_name=graph.name,
-                n_vertices=graph.n_vertices,
-                n_edges=graph.n_edges,
-                total_weight=float(graph.total_weight),
-                best_weight=best,
-                mean_weight=mean,
-                cut_ratio=0.0,  # filled below once the per-graph best is known
-                n_trials=trials_run,
-                n_samples=samples_run,
-                elapsed_seconds=float(elapsed),
-                samples_per_second=(total_samples / elapsed) if elapsed > 0 and total_samples
-                                   else 0.0,
-                used_engine=on_engine,
-                backend=metadata.get("engine_backend", ""),
-                deterministic=spec.deterministic,
-                budget_semantics=spec.budget,
-                metadata=metadata,
-            ))
-
-    # Arena-relative ratios: per graph, the best weight any solver found.
-    best_by_graph = {}
-    for entry in entries:
-        current = best_by_graph.get(entry.graph_name, 0.0)
-        best_by_graph[entry.graph_name] = max(current, entry.best_weight)
-    entries = [
-        dataclasses.replace(
-            entry,
-            cut_ratio=relative_cut_weight(entry.best_weight, best_by_graph[entry.graph_name]),
-        )
-        for entry in entries
-    ]
-
-    return ArenaResult(
-        suite=suite_key,
-        solvers=tuple(spec.key for spec in specs),
-        graph_names=tuple(graph.name for graph in graphs),
-        n_trials=budget.n_trials,
-        n_samples=budget.n_samples,
-        seed=seed,
-        entries=entries,
-        elapsed_seconds=float(time.perf_counter() - started),
+    warnings.warn(
+        "run_arena is deprecated; use repro.workloads.run_workload('arena', "
+        "solvers=..., suite=..., trials=..., samples=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    if budget is None:
+        budget = Budget(n_trials=n_trials, n_samples=n_samples)
+    source = GraphSource.coerce(suite)
+    workers = parallel.n_workers if parallel is not None else 1
+    spec = WorkloadSpec(
+        workload="arena",
+        graphs=source,
+        solvers=tuple(solvers),
+        budget=budget,
+        policy=ExecutionPolicy(
+            mode="auto" if use_engine else "parallel",
+            backend=backend,
+            n_workers=workers,
+        ),
+        seed=seed,
+        params={
+            "solvers": list(solvers), "suite": source.label,
+            "trials": budget.n_trials, "samples": budget.n_samples,
+            "max_seconds": budget.max_seconds, "backend": backend,
+            "use_engine": use_engine, "workers": workers,
+        },
+    )
+    report = Session(spec, get_workload("arena")).run()
+    return arena_result_from_report(report)

@@ -2,54 +2,46 @@
 
 Commands
 --------
+run         Run any registered workload (the unified entry point):
+            ``repro run <workload> [--param k=v] [--trials N] [--samples N]``.
+            ``--plan`` previews the execution without running; ``--save``
+            persists the uniform RunReport JSON.
+workloads   List the registered workloads and their parameters.
 solve       Run one solver (circuit or classical) on a graph and print the cut.
 engine      Run trial-parallel batched circuit simulation (repro.engine):
             many independent trials of one circuit on one graph in a single
             vectorised solve, with dense/sparse weight backends and optional
             early stopping; ``--compare`` also times the sequential path.
-compare     Race several registered solvers head-to-head over a graph suite
-            under one shared budget (repro.arena) and print per-graph tables
-            plus the aggregate leaderboard.
-figure3     Run a (reduced) Figure 3 Erdős–Rényi sweep.
-figure4     Run Figure 4 panels on empirical graphs.
-table1      Regenerate Table I rows.
-ablation    Run the device-imperfection / rank / learning-rate ablations.
 graphs      List the empirical graphs in the Table I registry.
 
-The experiment commands and ``engine`` accept ``--save results.json`` to
-persist results through :mod:`repro.experiments.runner`.
+Deprecated shims (still functional, emit ``DeprecationWarning``)
+----------------------------------------------------------------
+compare     → ``repro run arena``
+figure3     → ``repro run figure3``
+figure4     → ``repro run figure4``
+table1      → ``repro run table1``
+ablation    → ``repro run ablation``
+
+Each shim maps its historical flags onto the corresponding workload's
+parameters and delegates to the exact same session path as ``repro run``, so
+outputs (including ``--save`` JSON, modulo timestamp) are identical.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+import warnings
+from typing import Any, Dict, Optional, Sequence
 
 from repro.algorithms.registry import get_solver, list_solvers
 from repro.arena.suite import list_suites
-from repro.experiments.ablations import (
-    run_device_imperfection_ablation,
-    run_learning_rate_ablation,
-    run_rank_ablation,
-)
-from repro.experiments.config import AblationConfig, Figure3Config, Figure4Config, Table1Config
-from repro.experiments.figure3 import run_figure3
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.reporting import (
-    format_figure3_report,
-    format_figure4_report,
-    format_table,
-    format_table1_report,
-)
 from repro.experiments.runner import save_results
-from repro.experiments.table1 import run_table1
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.io import read_edge_list, read_matrix_market
 from repro.graphs.repository import EMPIRICAL_GRAPHS, list_empirical_graphs, load_empirical_graph
-from repro.parallel.pool import ParallelConfig
-from repro.plotting.ascii import render_curves
 from repro.utils.logging import configure_logging
+from repro.utils.validation import ValidationError
 
 __all__ = ["main", "build_parser"]
 
@@ -77,6 +69,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save", type=str, default=None, help="write results to this JSON file")
     parser.add_argument("--verbose", action="store_true", help="enable library logging")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # run --------------------------------------------------------------------
+    run = subparsers.add_parser(
+        "run",
+        help="run a registered workload (the unified entry point)",
+        description=(
+            "Run any workload from the registry (see `repro workloads`). "
+            "Workload-specific parameters are passed as repeated --param k=v "
+            "(values coerced to the declared default's type; comma-separated "
+            "lists for sequence parameters). --trials/--samples/--workers "
+            "are shorthand for the parameters of the same name."
+        ),
+    )
+    run.add_argument("workload", metavar="WORKLOAD",
+                     help="registered workload name (see `repro workloads`)")
+    run.add_argument("--param", "-p", action="append", default=[], metavar="K=V",
+                     help="override one workload parameter (repeatable)")
+    run.add_argument("--trials", type=int, default=None,
+                     help="shorthand for --param trials=N")
+    run.add_argument("--samples", type=int, default=None,
+                     help="shorthand for --param samples=N")
+    run.add_argument("--workers", type=int, default=None,
+                     help="shorthand for --param workers=N")
+    run.add_argument("--plan", action="store_true",
+                     help="print the execution plan and exit without running")
+    run.add_argument("--plot", action="store_true",
+                     help="render the workload's ASCII plot, if it has one")
+    # SUPPRESS (not a value) so the global `repro --seed/--save ... run ...`
+    # spellings keep working while `repro run <w> --seed N --save F` is also
+    # accepted (the subcommand-position spelling the docs use).
+    run.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                     help="root random seed (same as the global --seed)")
+    run.add_argument("--save", type=str, default=argparse.SUPPRESS, metavar="FILE",
+                     help="write the RunReport to this JSON file (same as the global --save)")
+
+    # workloads --------------------------------------------------------------
+    subparsers.add_parser("workloads", help="list the registered workloads")
 
     # solve ------------------------------------------------------------------
     solve = subparsers.add_parser("solve", help="run one solver on one graph")
@@ -116,16 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--compare", action="store_true",
                         help="also run the sequential per-trial path and report speedup")
 
-    # compare ----------------------------------------------------------------
+    # compare (deprecated shim for `run arena`) ------------------------------
     compare = subparsers.add_parser(
         "compare",
-        help="race registered solvers over a graph suite (repro.arena)",
+        help="[deprecated: use `repro run arena`] race solvers over a suite",
         description=(
-            "Run a subset of the solver registry head-to-head over a named "
-            "graph suite under one shared trial/sample budget. Batchable "
-            "circuit solvers ride the trial-parallel batched engine; "
-            "sequential solvers run their trials through parallel_map. "
-            "Prints one table per graph plus the aggregate leaderboard."
+            "Deprecated alias of `repro run arena`. Runs a subset of the "
+            "solver registry head-to-head over a named graph suite under one "
+            "shared trial/sample budget, through the unified workload path."
         ),
     )
     compare.add_argument("--solvers", type=str, default="lif_gw,lif_tr,gw,trevisan,random",
@@ -152,8 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--save", type=str, default=argparse.SUPPRESS, metavar="FILE",
                          help="write results to this JSON file (same as the global --save)")
 
-    # figure3 ----------------------------------------------------------------
-    figure3 = subparsers.add_parser("figure3", help="Erdős–Rényi convergence sweep (Figure 3)")
+    # figure3 (deprecated shim) ----------------------------------------------
+    figure3 = subparsers.add_parser(
+        "figure3",
+        help="[deprecated: use `repro run figure3`] Erdős–Rényi sweep (Figure 3)",
+    )
     figure3.add_argument("--sizes", type=int, nargs="+", default=[50])
     figure3.add_argument("--probabilities", type=float, nargs="+", default=[0.25])
     figure3.add_argument("--graphs-per-cell", type=int, default=3)
@@ -161,21 +191,30 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--workers", type=int, default=1)
     figure3.add_argument("--plot", action="store_true", help="render ASCII convergence plots")
 
-    # figure4 ----------------------------------------------------------------
-    figure4 = subparsers.add_parser("figure4", help="empirical-graph convergence curves (Figure 4)")
+    # figure4 (deprecated shim) ----------------------------------------------
+    figure4 = subparsers.add_parser(
+        "figure4",
+        help="[deprecated: use `repro run figure4`] empirical-graph curves (Figure 4)",
+    )
     figure4.add_argument("--graphs", nargs="+", default=["hamming6-2"],
                          choices=list_empirical_graphs(), metavar="GRAPH")
     figure4.add_argument("--samples", type=int, default=512)
     figure4.add_argument("--plot", action="store_true")
 
-    # table1 -----------------------------------------------------------------
-    table1 = subparsers.add_parser("table1", help="maximum cut values table (Table I)")
+    # table1 (deprecated shim) -----------------------------------------------
+    table1 = subparsers.add_parser(
+        "table1",
+        help="[deprecated: use `repro run table1`] maximum cut values (Table I)",
+    )
     table1.add_argument("--graphs", nargs="+", default=None,
                         choices=list_empirical_graphs(), metavar="GRAPH")
     table1.add_argument("--samples", type=int, default=1024)
 
-    # ablation ---------------------------------------------------------------
-    ablation = subparsers.add_parser("ablation", help="device / rank / learning-rate ablations")
+    # ablation (deprecated shim) ---------------------------------------------
+    ablation = subparsers.add_parser(
+        "ablation",
+        help="[deprecated: use `repro run ablation`] device / rank / learning-rate ablations",
+    )
     ablation.add_argument("--kind", choices=["devices", "rank", "learning-rate"], default="devices")
     ablation.add_argument("--circuit", choices=["lif_gw", "lif_tr"], default="lif_gw")
     ablation.add_argument("--vertices", type=int, default=50)
@@ -185,6 +224,116 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("graphs", help="list the Table I empirical graph registry")
 
     return parser
+
+
+# ---------------------------------------------------------------------------
+# Workload execution (shared by `run` and the deprecated shims)
+# ---------------------------------------------------------------------------
+
+
+def _render_report(workload, report, plot: bool) -> None:
+    """Print a workload report: formatted body, optional plot, winner line."""
+    from repro.experiments.reporting import format_table
+
+    if workload.formatter is not None:
+        print(workload.formatter(report))
+    else:
+        rows = [
+            [row.get("solver", "?"), row.get("score", float("nan"))]
+            for row in report.leaderboard
+        ]
+        print(format_table(["competitor", "score"], rows))
+    if plot and workload.plotter is not None:
+        print()
+        print(workload.plotter(report))
+    winner = report.winner()
+    if winner is not None:
+        print(f"\nwinner: {winner}  ({report.elapsed_seconds:.3f}s total)")
+
+
+def _execute_workload(
+    name: str,
+    overrides: Dict[str, Any],
+    save: Optional[str],
+    plot: bool = False,
+    plan_only: bool = False,
+) -> int:
+    """Build a session for workload *name*, run it, render, persist."""
+    from repro.workloads import Session, get_workload
+
+    try:
+        workload = get_workload(name)
+        session = Session.from_workload(name, **overrides)
+        if plan_only:
+            print(session.plan().describe())
+            return 0
+        report = session.run()
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _render_report(workload, report, plot=plot)
+    if save:
+        report.save(save)
+        print(f"\nresults written to {save}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    from repro.workloads import get_workload
+    from repro.workloads.registry import coerce_param_strings
+
+    try:
+        workload = get_workload(args.workload)
+        raw: Dict[str, Any] = {}
+        for item in args.param:
+            if "=" not in item:
+                raise ValidationError(
+                    f"--param expects K=V, got {item!r}"
+                )
+            key, text = item.split("=", 1)
+            raw[key.strip()] = text
+        for key in ("trials", "samples", "workers"):
+            value = getattr(args, key)
+            if value is not None:
+                raw[key] = value
+        overrides = {"seed": args.seed, **coerce_param_strings(workload, raw)}
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _execute_workload(
+        args.workload, overrides, save=args.save, plot=args.plot,
+        plan_only=args.plan,
+    )
+
+
+def _command_workloads(_args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.workloads import get_workload, list_workloads
+
+    rows = []
+    for name in list_workloads():
+        workload = get_workload(name)
+        defaults = ", ".join(f"{k}={v!r}" for k, v in workload.defaults.items())
+        rows.append([name, workload.summary, defaults])
+    print(format_table(["workload", "summary", "parameters (defaults)"], rows))
+    print("\nrun one with: repro run <workload> [--param k=v ...]")
+    return 0
+
+
+def _deprecated(old: str, new: str) -> None:
+    # stacklevel=2 attributes the warning to the shim command itself (the
+    # _command_<old> frame) rather than the generic dispatch line, so the
+    # reported location names which deprecated entry point was used.
+    warnings.warn(
+        f"`repro {old}` is deprecated; use `repro {new}` instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plain commands
+# ---------------------------------------------------------------------------
 
 
 def _command_solve(args: argparse.Namespace) -> int:
@@ -290,118 +439,9 @@ def _command_engine(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_compare(args: argparse.Namespace) -> int:
-    from repro.arena import ArenaBudget, run_arena
-    from repro.experiments.reporting import format_arena_report
-    from repro.plotting.ascii import render_leaderboard
-    from repro.utils.validation import ValidationError
-
-    solvers = [name.strip() for name in args.solvers.split(",") if name.strip()]
-    try:
-        result = run_arena(
-            solvers,
-            suite=args.suite,
-            budget=ArenaBudget(
-                n_trials=args.trials,
-                n_samples=args.budget,
-                max_seconds=args.max_seconds,
-            ),
-            seed=args.seed,
-            backend=args.backend,
-            use_engine=not args.no_engine,
-            parallel=ParallelConfig(n_workers=args.workers),
-        )
-    except ValidationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(format_arena_report(result))
-    if args.plot:
-        print()
-        print(render_leaderboard(result))
-    winner = result.winner()
-    if winner is not None:
-        print(f"\nwinner: {winner}  ({result.elapsed_seconds:.3f}s total)")
-    if args.save:
-        save_results(
-            args.save, "compare", result.entries,
-            config={
-                "suite": result.suite, "solvers": list(result.solvers),
-                "graphs": list(result.graph_names), "n_trials": result.n_trials,
-                "n_samples": result.n_samples, "seed": result.seed,
-                "backend": args.backend, "use_engine": not args.no_engine,
-            },
-        )
-        print(f"\nresults written to {args.save}")
-    return 0
-
-
-def _command_figure3(args: argparse.Namespace) -> int:
-    config = Figure3Config(
-        sizes=tuple(args.sizes),
-        probabilities=tuple(args.probabilities),
-        n_graphs_per_cell=args.graphs_per_cell,
-        n_samples=args.samples,
-        seed=args.seed,
-    )
-    cells = run_figure3(config=config, parallel=ParallelConfig(n_workers=args.workers))
-    print(format_figure3_report(cells))
-    if args.plot:
-        for cell in cells:
-            print()
-            print(render_curves(
-                cell.sample_counts, cell.curves,
-                title=f"G({cell.n_vertices}, {cell.probability:g}) relative cut weight",
-            ))
-    if args.save:
-        save_results(args.save, "figure3", cells, config={"n_samples": args.samples})
-        print(f"\nresults written to {args.save}")
-    return 0
-
-
-def _command_figure4(args: argparse.Namespace) -> int:
-    config = Figure4Config(n_samples=args.samples, seed=args.seed)
-    panels = run_figure4(args.graphs, config=config)
-    print(format_figure4_report(panels))
-    if args.plot:
-        for panel in panels:
-            print()
-            print(render_curves(
-                panel.sample_counts, panel.curves,
-                title=f"{panel.graph_name} relative cut weight",
-            ))
-    if args.save:
-        save_results(args.save, "figure4", panels, config={"n_samples": args.samples})
-        print(f"\nresults written to {args.save}")
-    return 0
-
-
-def _command_table1(args: argparse.Namespace) -> int:
-    config = Table1Config(n_samples=args.samples, seed=args.seed)
-    rows = run_table1(args.graphs, config=config)
-    print(format_table1_report(rows))
-    if args.save:
-        save_results(args.save, "table1", rows, config={"n_samples": args.samples})
-        print(f"\nresults written to {args.save}")
-    return 0
-
-
-def _command_ablation(args: argparse.Namespace) -> int:
-    config = AblationConfig(n_vertices=args.vertices, n_samples=args.samples, seed=args.seed)
-    if args.kind == "devices":
-        points = run_device_imperfection_ablation(config=config, circuit=args.circuit)
-    elif args.kind == "rank":
-        points = run_rank_ablation(config=config)
-    else:
-        points = run_learning_rate_ablation(config=config)
-    rows = [[p.setting, p.mean_relative_cut, p.sem] for p in points]
-    print(format_table(["setting", "relative cut", "sem"], rows))
-    if args.save:
-        save_results(args.save, f"ablation-{args.kind}", points, config={"circuit": args.circuit})
-        print(f"\nresults written to {args.save}")
-    return 0
-
-
 def _command_graphs(_args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+
     rows = []
     for name in list_empirical_graphs():
         spec = EMPIRICAL_GRAPHS[name]
@@ -410,7 +450,61 @@ def _command_graphs(_args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Deprecated shims (delegate to the unified workload path)
+# ---------------------------------------------------------------------------
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    _deprecated("compare", "run arena")
+    solvers = tuple(name.strip() for name in args.solvers.split(",") if name.strip())
+    overrides = {
+        "solvers": solvers, "suite": args.suite, "trials": args.trials,
+        "samples": args.budget, "max_seconds": args.max_seconds,
+        "backend": args.backend, "use_engine": not args.no_engine,
+        "workers": args.workers, "seed": args.seed,
+    }
+    return _execute_workload("arena", overrides, save=args.save, plot=args.plot)
+
+
+def _command_figure3(args: argparse.Namespace) -> int:
+    _deprecated("figure3", "run figure3")
+    overrides = {
+        "sizes": tuple(args.sizes), "probabilities": tuple(args.probabilities),
+        "trials": args.graphs_per_cell, "samples": args.samples,
+        "workers": args.workers, "seed": args.seed,
+    }
+    return _execute_workload("figure3", overrides, save=args.save, plot=args.plot)
+
+
+def _command_figure4(args: argparse.Namespace) -> int:
+    _deprecated("figure4", "run figure4")
+    overrides = {
+        "graphs": tuple(args.graphs), "samples": args.samples, "seed": args.seed,
+    }
+    return _execute_workload("figure4", overrides, save=args.save, plot=args.plot)
+
+
+def _command_table1(args: argparse.Namespace) -> int:
+    _deprecated("table1", "run table1")
+    overrides = {
+        "graphs": tuple(args.graphs or ()), "samples": args.samples, "seed": args.seed,
+    }
+    return _execute_workload("table1", overrides, save=args.save)
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    _deprecated("ablation", "run ablation")
+    overrides = {
+        "kind": args.kind, "circuit": args.circuit, "vertices": args.vertices,
+        "samples": args.samples, "seed": args.seed,
+    }
+    return _execute_workload("ablation", overrides, save=args.save)
+
+
 _COMMANDS = {
+    "run": _command_run,
+    "workloads": _command_workloads,
     "solve": _command_solve,
     "engine": _command_engine,
     "compare": _command_compare,

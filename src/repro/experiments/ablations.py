@@ -31,7 +31,7 @@ from repro.devices.telegraph import TelegraphNoisePool
 from repro.experiments.config import AblationConfig
 from repro.graphs.generators import erdos_renyi
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedStream
+from repro.utils.rng import SeedStream, paired_seed
 
 __all__ = [
     "AblationPoint",
@@ -101,13 +101,16 @@ def run_device_imperfection_ablation(
     device_models = device_models or DEVICE_MODELS
     graphs = _ablation_graphs(config)
     references = _solver_references(graphs, config)
-    stream = SeedStream(None if config.seed is None else config.seed + 2)
+    base = None if config.seed is None else config.seed + 2
 
     points: List[AblationPoint] = []
-    for label, factory in device_models.items():
+    for s, (label, factory) in enumerate(device_models.items()):
         ratios = np.empty(len(graphs))
         for i, graph in enumerate(graphs):
-            run_seed = stream.generator_for(hash((label, i)) % (2**31))
+            # Paired convention: setting s on graph i always draws the same
+            # stream (hash() of a string is process-salted, so the previous
+            # hash-derived seeds were not reproducible across interpreters).
+            run_seed = np.random.default_rng(paired_seed(base, s, i))
             if circuit == "lif_gw":
                 circ = LIFGWCircuit(graph, device_pool_factory=factory, seed=run_seed)
             else:
@@ -133,14 +136,14 @@ def run_rank_ablation(
     config = config or AblationConfig()
     graphs = _ablation_graphs(config)
     references = _solver_references(graphs, config)
-    stream = SeedStream(None if config.seed is None else config.seed + 3)
+    base = None if config.seed is None else config.seed + 3
 
     points: List[AblationPoint] = []
-    for rank in ranks:
+    for s, rank in enumerate(ranks):
         gw_config = LIFGWConfig(rank=int(rank))
         ratios = np.empty(len(graphs))
         for i, graph in enumerate(graphs):
-            run_seed = stream.generator_for(hash((rank, i)) % (2**31))
+            run_seed = np.random.default_rng(paired_seed(base, s, i))
             circ = LIFGWCircuit(graph, config=gw_config, seed=run_seed)
             result = circ.sample_cuts(config.n_samples, seed=run_seed)
             ratios[i] = result.best_weight / references[i]
@@ -164,16 +167,16 @@ def run_learning_rate_ablation(
     config = config or AblationConfig()
     graphs = _ablation_graphs(config)
     references = _solver_references(graphs, config)
-    stream = SeedStream(None if config.seed is None else config.seed + 4)
+    base = None if config.seed is None else config.seed + 4
 
     points: List[AblationPoint] = []
-    for eta in learning_rates:
+    for s, eta in enumerate(learning_rates):
         tr_config = LIFTrevisanConfig(
             learning_rate=float(eta), learning_rate_decay=learning_rate_decay
         )
         ratios = np.empty(len(graphs))
         for i, graph in enumerate(graphs):
-            run_seed = stream.generator_for(hash((float(eta), i)) % (2**31))
+            run_seed = np.random.default_rng(paired_seed(base, s, i))
             circ = LIFTrevisanCircuit(graph, config=tr_config)
             result = circ.sample_cuts(config.n_samples, seed=run_seed)
             ratios[i] = result.best_weight / references[i]

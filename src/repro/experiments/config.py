@@ -1,4 +1,11 @@
-"""Experiment configuration dataclasses and the paper's parameter grids."""
+"""Experiment configuration dataclasses and the paper's parameter grids.
+
+All four configs share the :class:`repro.utils.validation.ValidatedConfig`
+mixin: each declares its invariants in a single ``validate()`` hook (wired
+into dataclass construction by the mixin) and inherits ``to_dict()``, the
+JSON-safe rendering the workload layer embeds in every
+:class:`repro.workloads.RunReport` metadata header.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.circuits.config import LIFGWConfig, LIFTrevisanConfig
-from repro.utils.validation import ValidationError
+from repro.utils.validation import ValidatedConfig, ValidationError, check_count
 
 __all__ = [
     "PAPER_FIGURE3_SIZES",
@@ -28,15 +35,8 @@ PAPER_FIGURE3_PROBABILITIES: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75)
 PAPER_SAMPLE_BUDGET: int = 2**20
 
 
-def _check_counts(n_samples: int, n_graphs: int | None = None) -> None:
-    if n_samples < 1:
-        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
-    if n_graphs is not None and n_graphs < 1:
-        raise ValidationError(f"n_graphs_per_cell must be >= 1, got {n_graphs}")
-
-
 @dataclass(frozen=True)
-class Figure3Config:
+class Figure3Config(ValidatedConfig):
     """Configuration of the Figure 3 Erdős–Rényi sweep.
 
     Defaults are scaled down from the paper (10 graphs per cell, 2^20 samples)
@@ -53,22 +53,21 @@ class Figure3Config:
     lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
     lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
 
-    def __post_init__(self) -> None:
-        _check_counts(self.n_samples, self.n_graphs_per_cell)
+    def validate(self) -> None:
+        check_count(self.n_samples, "n_samples")
+        check_count(self.n_graphs_per_cell, "n_graphs_per_cell")
+        check_count(self.n_solver_samples, "n_solver_samples")
         if not self.sizes or not self.probabilities:
             raise ValidationError("sizes and probabilities must be non-empty")
         for n in self.sizes:
-            if n < 2:
-                raise ValidationError(f"graph sizes must be >= 2, got {n}")
+            check_count(n, "graph sizes", minimum=2)
         for p in self.probabilities:
             if not (0.0 < p <= 1.0):
                 raise ValidationError(f"probabilities must be in (0, 1], got {p}")
-        if self.n_solver_samples < 1:
-            raise ValidationError("n_solver_samples must be >= 1")
 
 
 @dataclass(frozen=True)
-class Figure4Config:
+class Figure4Config(ValidatedConfig):
     """Configuration of the Figure 4 empirical-graph sweep."""
 
     graph_names: Sequence[str] = ()
@@ -78,14 +77,13 @@ class Figure4Config:
     lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
     lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
 
-    def __post_init__(self) -> None:
-        _check_counts(self.n_samples)
-        if self.n_solver_samples < 1:
-            raise ValidationError("n_solver_samples must be >= 1")
+    def validate(self) -> None:
+        check_count(self.n_samples, "n_samples")
+        check_count(self.n_solver_samples, "n_solver_samples")
 
 
 @dataclass(frozen=True)
-class Table1Config:
+class Table1Config(ValidatedConfig):
     """Configuration of the Table I maximum-cut-value reproduction."""
 
     graph_names: Sequence[str] = ()
@@ -96,14 +94,14 @@ class Table1Config:
     lif_gw: LIFGWConfig = field(default_factory=LIFGWConfig)
     lif_tr: LIFTrevisanConfig = field(default_factory=LIFTrevisanConfig)
 
-    def __post_init__(self) -> None:
-        _check_counts(self.n_samples)
-        if self.n_solver_samples < 1 or self.n_random_samples < 1:
-            raise ValidationError("sample counts must be >= 1")
+    def validate(self) -> None:
+        check_count(self.n_samples, "n_samples")
+        check_count(self.n_solver_samples, "n_solver_samples")
+        check_count(self.n_random_samples, "n_random_samples")
 
 
 @dataclass(frozen=True)
-class AblationConfig:
+class AblationConfig(ValidatedConfig):
     """Shared configuration for the ablation studies (DESIGN.md E4/E6)."""
 
     n_vertices: int = 60
@@ -112,11 +110,11 @@ class AblationConfig:
     n_samples: int = 512
     seed: Optional[int] = 0
 
-    def __post_init__(self) -> None:
-        if self.n_vertices < 2:
-            raise ValidationError("n_vertices must be >= 2")
+    def validate(self) -> None:
+        check_count(self.n_vertices, "n_vertices", minimum=2)
+        check_count(self.n_graphs, "n_graphs")
+        check_count(self.n_samples, "n_samples")
         if not (0.0 < self.edge_probability <= 1.0):
-            raise ValidationError("edge_probability must be in (0, 1]")
-        if self.n_graphs < 1:
-            raise ValidationError("n_graphs must be >= 1")
-        _check_counts(self.n_samples)
+            raise ValidationError(
+                f"edge_probability must be in (0, 1], got {self.edge_probability}"
+            )

@@ -23,7 +23,7 @@ from repro.experiments.config import Figure3Config
 from repro.graphs.generators import erdos_renyi
 from repro.parallel.pool import ParallelConfig, parallel_map
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedStream
+from repro.utils.rng import grid_cell_key, spawn_generators
 
 __all__ = ["Figure3Cell", "run_figure3_cell", "run_figure3", "METHODS"]
 
@@ -69,26 +69,29 @@ def _relative_running_best(weights: np.ndarray, counts: np.ndarray, reference: f
 def _run_single_graph(task) -> Dict[str, np.ndarray]:
     """Run all four methods on one random graph (a single sweep work item)."""
     (n, p, config, graph_index) = task.payload
-    rng = task.generator()
-    graph_seed, gw_seed, tr_seed, solver_seed, random_seed = (
-        int(rng.integers(0, 2**31 - 1)) for _ in range(5)
+    # Paired seeding convention: graph j of cell (n, p) derives everything
+    # from SeedSequence(seed, spawn_key=(n, key(p), j)); each method gets its
+    # own spawned child, so methods stay paired per graph across execution
+    # modes (serial / process pool) and worker counts.
+    graph_rng, gw_rng, tr_rng, solver_rng, random_rng = spawn_generators(
+        task.seed_sequence(), 5
     )
-    graph = erdos_renyi(n, p, seed=graph_seed, name=f"er_n{n}_p{p:g}_{graph_index}")
+    graph = erdos_renyi(n, p, seed=graph_rng, name=f"er_n{n}_p{p:g}_{graph_index}")
     counts = sample_points_log_spaced(config.n_samples)
 
     solver_result = goemans_williamson(
-        graph, n_samples=config.n_solver_samples, seed=solver_seed
+        graph, n_samples=config.n_solver_samples, seed=solver_rng
     )
     solver_best = solver_result.best_weight
     reference = solver_best if solver_best > 0 else 1.0
 
-    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=gw_seed)
-    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=gw_seed)
+    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=gw_rng)
+    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=gw_rng)
 
     tr_circuit = LIFTrevisanCircuit(graph, config=config.lif_tr)
-    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=tr_seed)
+    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=tr_rng)
 
-    _, random_weights = random_baseline(graph, n_samples=config.n_samples, seed=random_seed)
+    _, random_weights = random_baseline(graph, n_samples=config.n_samples, seed=random_rng)
 
     solver_curve = _relative_running_best(
         solver_result.sample_weights,
@@ -119,9 +122,13 @@ def run_figure3_cell(
         (n_vertices, probability, config, graph_index)
         for graph_index in range(config.n_graphs_per_cell)
     ]
-    # Cell-specific root seed keeps panels independent but reproducible.
-    root = None if config.seed is None else hash((config.seed, n_vertices, probability)) % (2**31)
-    tasks = seeded_tasks(payloads, root_seed=root)
+    # Paired seeding convention: graph j of this cell runs on
+    # SeedSequence(seed, spawn_key=(n, key(p), j)), so panels are independent
+    # but reproducible, without the process-salted hash() roots used before.
+    tasks = seeded_tasks(
+        payloads, root_seed=config.seed,
+        base_key=grid_cell_key(n_vertices, probability),
+    )
     results = parallel_map(_run_single_graph, tasks, config=parallel)
 
     counts = results[0]["sample_counts"]

@@ -18,9 +18,10 @@ from repro.circuits.lif_gw import LIFGWCircuit
 from repro.circuits.lif_trevisan import LIFTrevisanCircuit
 from repro.experiments.config import Figure4Config
 from repro.graphs.graph import Graph
+from repro.engine.sampler import trial_seed_sequences
 from repro.graphs.repository import list_empirical_graphs, load_empirical_graph
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedStream
+from repro.utils.rng import paired_seed
 
 __all__ = ["Figure4Panel", "run_figure4_panel", "run_figure4"]
 
@@ -50,28 +51,35 @@ def _relative_running_best(weights: np.ndarray, counts: np.ndarray, reference: f
 def run_figure4_panel(
     graph: Graph | str,
     config: Optional[Figure4Config] = None,
+    graph_index: int = 0,
 ) -> Figure4Panel:
-    """Run one Figure 4 panel on an empirical graph (by object or registry name)."""
+    """Run one Figure 4 panel on an empirical graph (by object or registry name).
+
+    *graph_index* is the panel's position in the sweep: all of the panel's
+    randomness derives from the paired convention
+    ``SeedSequence(seed, spawn_key=(graph_index, method))``, so panels are
+    mutually independent yet individually reproducible.
+    """
     config = config or Figure4Config()
-    stream = SeedStream(config.seed)
+    seeds = trial_seed_sequences(paired_seed(config.seed, graph_index), 5)
     if isinstance(graph, str):
         graph = load_empirical_graph(graph, seed=config.seed)
 
     counts = sample_points_log_spaced(config.n_samples)
 
     solver_result = goemans_williamson(
-        graph, n_samples=config.n_solver_samples, seed=stream.generator_for(0)
+        graph, n_samples=config.n_solver_samples, seed=seeds[0]
     )
     reference = solver_result.best_weight if solver_result.best_weight > 0 else 1.0
 
-    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=stream.generator_for(1))
-    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=stream.generator_for(2))
+    gw_circuit = LIFGWCircuit(graph, config=config.lif_gw, seed=seeds[1])
+    gw_result = gw_circuit.sample_cuts(config.n_samples, seed=seeds[2])
 
     tr_circuit = LIFTrevisanCircuit(graph, config=config.lif_tr)
-    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=stream.generator_for(3))
+    tr_result = tr_circuit.sample_cuts(config.n_samples, seed=seeds[3])
 
     random_best, random_weights = random_baseline(
-        graph, n_samples=config.n_samples, seed=stream.generator_for(4)
+        graph, n_samples=config.n_samples, seed=seeds[4]
     )
 
     curves = {
@@ -112,4 +120,7 @@ def run_figure4(
     """Run Figure 4 for the given graphs (default: all 16 Table I graphs)."""
     config = config or Figure4Config()
     names = list(graph_names or config.graph_names or list_empirical_graphs())
-    return [run_figure4_panel(name, config=config) for name in names]
+    return [
+        run_figure4_panel(name, config=config, graph_index=g)
+        for g, name in enumerate(names)
+    ]

@@ -19,9 +19,10 @@ from repro.circuits.lif_gw import LIFGWCircuit
 from repro.circuits.lif_trevisan import LIFTrevisanCircuit
 from repro.experiments.config import Table1Config
 from repro.graphs.graph import Graph
+from repro.engine.sampler import trial_seed_sequences
 from repro.graphs.repository import EMPIRICAL_GRAPHS, list_empirical_graphs, load_empirical_graph
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedStream
+from repro.utils.rng import paired_seed
 
 __all__ = ["Table1Row", "run_table1_row", "run_table1"]
 
@@ -43,10 +44,17 @@ class Table1Row:
 def run_table1_row(
     graph: Graph | str,
     config: Optional[Table1Config] = None,
+    graph_index: int = 0,
 ) -> Table1Row:
-    """Compute one Table I row."""
+    """Compute one Table I row.
+
+    *graph_index* is the row's position in the table: all of the row's
+    randomness derives from the paired convention
+    ``SeedSequence(seed, spawn_key=(graph_index, method))``, so rows are
+    mutually independent yet individually reproducible.
+    """
     config = config or Table1Config()
-    stream = SeedStream(config.seed)
+    seeds = trial_seed_sequences(paired_seed(config.seed, graph_index), 5)
     paper_values: Dict[str, int] = {}
     is_surrogate = False
     if isinstance(graph, str):
@@ -57,16 +65,16 @@ def run_table1_row(
         graph = load_empirical_graph(graph, seed=config.seed)
 
     solver_result = goemans_williamson(
-        graph, n_samples=config.n_solver_samples, seed=stream.generator_for(0)
+        graph, n_samples=config.n_solver_samples, seed=seeds[0]
     )
     gw_result = LIFGWCircuit(
-        graph, config=config.lif_gw, seed=stream.generator_for(1)
-    ).sample_cuts(config.n_samples, seed=stream.generator_for(2))
+        graph, config=config.lif_gw, seed=seeds[1]
+    ).sample_cuts(config.n_samples, seed=seeds[2])
     tr_result = LIFTrevisanCircuit(graph, config=config.lif_tr).sample_cuts(
-        config.n_samples, seed=stream.generator_for(3)
+        config.n_samples, seed=seeds[3]
     )
     random_best, _ = random_baseline(
-        graph, n_samples=config.n_random_samples, seed=stream.generator_for(4)
+        graph, n_samples=config.n_random_samples, seed=seeds[4]
     )
 
     measured = {
@@ -93,4 +101,7 @@ def run_table1(
     """Compute Table I for the given graphs (default: all 16 paper graphs)."""
     config = config or Table1Config()
     names = list(graph_names or config.graph_names or list_empirical_graphs())
-    return [run_table1_row(name, config=config) for name in names]
+    return [
+        run_table1_row(name, config=config, graph_index=g)
+        for g, name in enumerate(names)
+    ]

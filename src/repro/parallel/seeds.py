@@ -8,7 +8,7 @@ or with a different chunk size — the property the reproducibility tests check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Sequence, TypeVar
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -24,31 +24,44 @@ class SeededTask(Generic[T]):
     """A work item paired with its task index and dedicated seed material.
 
     The seed is stored as the integer entropy of a child ``SeedSequence`` so
-    the object pickles cheaply across process boundaries.
+    the object pickles cheaply across process boundaries.  ``base_key`` is an
+    optional spawn-key prefix: sweeps that are themselves one unit of a larger
+    grid (e.g. one Figure 3 cell) pass the grid coordinates here, so task *i*
+    receives ``SeedSequence(root, spawn_key=base_key + (i,))`` — the library's
+    paired ``(graph, trial)`` convention (see
+    :func:`repro.utils.rng.paired_seed`).
     """
 
     index: int
     payload: T
     root_seed: Optional[int]
+    base_key: Tuple[int, ...] = ()
 
     def seed_sequence(self) -> np.random.SeedSequence:
         """Reconstruct the child ``SeedSequence`` for this task."""
-        return np.random.SeedSequence(entropy=self.root_seed, spawn_key=(self.index,))
+        return np.random.SeedSequence(
+            entropy=self.root_seed, spawn_key=self.base_key + (self.index,)
+        )
 
     def generator(self) -> np.random.Generator:
         """A fresh generator seeded for this task."""
         return np.random.default_rng(self.seed_sequence())
 
 
-def seeded_tasks(payloads: Sequence[T], root_seed: Optional[int] = None) -> List[SeededTask[T]]:
+def seeded_tasks(
+    payloads: Sequence[T],
+    root_seed: Optional[int] = None,
+    base_key: Tuple[int, ...] = (),
+) -> List[SeededTask[T]]:
     """Wrap *payloads* into :class:`SeededTask` items sharing a root seed.
 
     The construction mirrors :class:`repro.utils.rng.SeedStream`: task *i*
-    always receives the child with ``spawn_key=(i,)``.
+    always receives the child with ``spawn_key=base_key + (i,)``.
     """
     # Materialise the stream once so invalid root seeds fail fast here.
     SeedStream(root_seed)
+    base_key = tuple(int(k) for k in base_key)
     return [
-        SeededTask(index=i, payload=payload, root_seed=root_seed)
+        SeededTask(index=i, payload=payload, root_seed=root_seed, base_key=base_key)
         for i, payload in enumerate(payloads)
     ]

@@ -115,6 +115,32 @@ class SeedStream:
             index += 1
 
 
+def paired_seed(seed: Optional[int], *key: int) -> np.random.SeedSequence:
+    """The library's paired seeding convention: ``SeedSequence(seed, spawn_key=key)``.
+
+    Workload execution paths derive all randomness for unit ``key`` (e.g.
+    ``(graph_index, trial_index)``) from this sequence, so engine-batched,
+    process-parallel, and sequential execution of the same spec consume
+    identical random numbers — comparisons stay paired regardless of how the
+    work is scheduled.  ``seed=None`` draws fresh root entropy (the run is
+    then reproducible only from the returned sequence's ``entropy``).
+    """
+    return np.random.SeedSequence(
+        entropy=seed, spawn_key=tuple(int(k) for k in key)
+    )
+
+
+def grid_cell_key(n_vertices: int, probability: float) -> tuple:
+    """Integer spawn-key prefix identifying one (n, p) Erdős–Rényi cell.
+
+    Probabilities are keyed at micro-resolution so every distinct paper grid
+    value maps to a distinct key while staying a valid ``spawn_key`` entry.
+    Shared by the Figure 3 runner and generator graph sources so "same
+    (n, p, j) cell → same graph" holds across all workload paths.
+    """
+    return (int(n_vertices), int(round(float(probability) * 1_000_000)))
+
+
 def random_bits(rng: np.random.Generator, shape: Union[int, Sequence[int]]) -> np.ndarray:
     """Draw an array of fair random bits (0/1, int8) of the given shape."""
     return rng.integers(0, 2, size=shape, dtype=np.int8)

@@ -7,15 +7,18 @@ The checks are written to be cheap: they never copy large arrays.
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 __all__ = [
     "ValidationError",
+    "ValidatedConfig",
     "check_probability",
     "check_positive",
     "check_non_negative",
+    "check_count",
     "check_square_matrix",
     "check_symmetric",
     "check_vector_length",
@@ -27,6 +30,60 @@ __all__ = [
 
 class ValidationError(ValueError):
     """Raised when a public API argument fails validation."""
+
+
+class ValidatedConfig:
+    """Mixin for frozen config dataclasses: one validation hook + ``to_dict``.
+
+    Subclasses override :meth:`validate` (raising :class:`ValidationError`)
+    instead of each writing its own ``__post_init__``; the mixin wires the
+    hook into dataclass construction so invalid configurations can never be
+    instantiated.  :meth:`to_dict` renders the configuration as a JSON-safe
+    dictionary — nested config dataclasses, numpy scalars/arrays and tuples
+    included — which the workload layer embeds in every
+    :class:`repro.workloads.RunReport` metadata header.
+    """
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check field invariants; subclasses raise :class:`ValidationError`."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary of this configuration's fields."""
+        if not dataclasses.is_dataclass(self):
+            raise ValidationError(
+                f"{type(self).__name__}.to_dict() requires a dataclass subclass"
+            )
+        return {
+            f.name: _config_jsonable(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
+
+
+def _config_jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe rendering of a config field value."""
+    if isinstance(value, ValidatedConfig):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _config_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _config_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_config_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Callables / exotic objects: record something diagnosable rather than
+    # failing the whole header.
+    return repr(value)
 
 
 def check_probability(value: float, name: str = "p") -> float:
@@ -51,6 +108,15 @@ def check_non_negative(value: float, name: str = "value") -> float:
     if not np.isfinite(value) or value < 0.0:
         raise ValidationError(f"{name} must be a non-negative finite number, got {value}")
     return value
+
+
+def check_count(value: int, name: str = "count", minimum: int = 1) -> int:
+    """Validate that *value* is an integer >= *minimum* (default 1)."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
 
 
 def check_finite(array: np.ndarray, name: str = "array") -> np.ndarray:

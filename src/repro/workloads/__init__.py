@@ -1,0 +1,66 @@
+"""Unified Workload API: one declarative spec + session runner for every run.
+
+This package is the single stable surface behind every experiment, arena
+race, and engine solve:
+
+* :class:`WorkloadSpec` declares a run — graph source (:class:`GraphSource`),
+  solver set (capability-aware registry keys), shared :class:`Budget`, and
+  :class:`ExecutionPolicy` (engine-batched / process-parallel / sequential);
+* :class:`Session` validates, plans, executes, and returns a uniform
+  :class:`RunReport` (per-trial records, leaderboard, timing, metadata
+  header) persisted through :func:`repro.experiments.runner.save_results`;
+* :func:`register_workload` / :func:`list_workloads` make named workloads
+  discoverable from Python and the generic ``repro run <name>`` CLI.
+
+The five paper workloads — ``figure3``, ``figure4``, ``table1``,
+``ablation``, ``arena`` — are registered on import (see
+:mod:`repro.workloads.paper`); a new scenario is typically a ~30-line
+``build_spec`` rather than a new module and CLI subcommand.
+
+Quickstart
+----------
+>>> from repro.workloads import list_workloads, run_workload
+>>> "figure3" in list_workloads()
+True
+>>> report = run_workload("arena", solvers=("random", "trevisan"),
+...                       suite="er-small", trials=2, samples=16, seed=0)
+>>> len(report.records) > 0
+True
+"""
+
+from repro.workloads.spec import (
+    Budget,
+    ExecutionPolicy,
+    GraphSource,
+    WorkloadSpec,
+)
+from repro.workloads.report import RunReport, WorkloadOutcome
+from repro.workloads.registry import (
+    Workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+from repro.workloads.session import PlanStep, RunPlan, Session, run_workload
+from repro.workloads.executor import execute_spec
+from repro.workloads import paper as _paper  # registers the five paper workloads
+from repro.workloads.paper import arena_result_from_report
+
+__all__ = [
+    "Budget",
+    "ExecutionPolicy",
+    "GraphSource",
+    "WorkloadSpec",
+    "RunReport",
+    "WorkloadOutcome",
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "list_workloads",
+    "Session",
+    "RunPlan",
+    "PlanStep",
+    "run_workload",
+    "execute_spec",
+    "arena_result_from_report",
+]

@@ -1,0 +1,216 @@
+"""Generic spec execution: capability-routed trials over graphs x solvers.
+
+This is the engine room shared by the solver arena and every ad-hoc
+:class:`repro.workloads.WorkloadSpec`: build the graphs, then for each
+(graph, solver) cell route execution by the solver's registered capabilities
+and the spec's :class:`~repro.workloads.spec.ExecutionPolicy`:
+
+* **Batchable circuits** ride the trial-parallel batched engine via
+  :func:`repro.experiments.runner.run_circuit_trials` — all trials of a cell
+  in one vectorised solve.
+* **Sequential stochastic solvers** run their trials through
+  :func:`repro.parallel.pool.parallel_map` with per-trial seeds.
+* **Deterministic solvers** run exactly once per graph.
+
+Trial *i* on graph *g* is seeded ``SeedSequence(seed, spawn_key=(g, i))`` on
+**every** path (see :func:`repro.utils.rng.paired_seed`), so comparisons are
+paired and the engine is a pure execution detail.  The outcome is expressed
+in the arena's vocabulary — :class:`repro.arena.results.ArenaEntry` records
+wrapped in an :class:`repro.arena.results.ArenaResult` — because "race these
+solvers on these graphs under this budget" *is* the arena, whatever workload
+asked for it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import SolverSpec
+from repro.analysis.ratios import relative_cut_weight
+from repro.arena.results import ArenaEntry, ArenaResult
+from repro.engine.sampler import trial_seed_sequences
+from repro.experiments import runner as _runner
+from repro.graphs.graph import Graph
+from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.utils.rng import paired_seed
+from repro.utils.validation import ValidationError
+from repro.workloads.spec import Budget, WorkloadSpec
+
+__all__ = ["execute_spec"]
+
+
+def _sequential_trial(task: tuple) -> float:
+    """One trial of a sequential solver (module-level for pickling).
+
+    The task carries the solver *callable* itself, not its registry key:
+    worker processes under non-fork start methods re-import the registry
+    without runtime registrations, so a key lookup there would fail for
+    custom solvers.  Pickling the function by reference sidesteps that.
+    """
+    solver_fn, graph, n_samples, seed_seq = task
+    cut = solver_fn(graph, n_samples=n_samples, seed=seed_seq)
+    return float(cut.weight)
+
+
+def _run_engine_cell(
+    spec: SolverSpec,
+    graph: Graph,
+    budget: Budget,
+    root: np.random.SeedSequence,
+    backend: str,
+) -> Tuple[float, float, int, int, dict]:
+    """Run one batchable cell through the engine; returns core measurements."""
+    result = _runner.run_circuit_trials(
+        graph=graph,
+        circuit=spec.circuit,
+        n_trials=budget.n_trials,
+        n_samples=budget.n_samples,
+        seed=root,
+        backend=backend,
+    )
+    weights = np.asarray(result.trial_best_weights, dtype=float)
+    metadata = {
+        "engine_elapsed_seconds": float(result.elapsed_seconds),
+        "engine_backend": result.backend_name,
+        "n_rounds": int(result.n_rounds),
+        "early_stopped": bool(result.early_stopped),
+        "trial_weights": weights.tolist(),
+    }
+    best = float(weights.max()) if weights.size else 0.0
+    mean = float(weights.mean()) if weights.size else 0.0
+    return best, mean, int(result.n_trials), int(result.n_rounds), metadata
+
+
+def _run_sequential_cell(
+    spec: SolverSpec,
+    graph: Graph,
+    budget: Budget,
+    root: np.random.SeedSequence,
+    parallel: Optional[ParallelConfig],
+) -> Tuple[float, float, int, int, dict]:
+    """Run one non-batchable cell: 1 trial if deterministic, else the budget."""
+    n_trials = 1 if spec.deterministic else budget.n_trials
+    # The engine's own derivation, so the two paths stay paired by
+    # construction rather than by parallel re-implementation.
+    seeds = trial_seed_sequences(root, n_trials)
+    tasks = [(spec.fn, graph, budget.n_samples, s) for s in seeds]
+    metadata: dict = {}
+    if budget.max_seconds is not None and n_trials > 1:
+        # A wall-clock cap needs a serial loop with a clock check between
+        # trials; parallel_map has no mid-flight cancellation.
+        weights: List[float] = []
+        started = time.perf_counter()
+        for task in tasks:
+            weights.append(_sequential_trial(task))
+            if time.perf_counter() - started >= budget.max_seconds:
+                break
+        if len(weights) < n_trials:
+            metadata["budget_truncated"] = True
+        n_trials = len(weights)
+    else:
+        weights = parallel_map(_sequential_trial, tasks, config=parallel)
+    arr = np.asarray(weights, dtype=float)
+    metadata["trial_weights"] = arr.tolist()
+    return float(arr.max()), float(arr.mean()), n_trials, budget.n_samples, metadata
+
+
+def execute_spec(spec: WorkloadSpec) -> ArenaResult:
+    """Execute *spec* generically and return the arena-shaped result.
+
+    The spec's seed must already be resolved (an integer —
+    :class:`repro.workloads.Session` draws fresh entropy for ``None`` seeds
+    before execution so the run is recorded reproducibly).
+    """
+    solver_specs = spec.resolve_solvers()
+    seed = spec.seed
+    if seed is None:
+        raise ValidationError(
+            "execute_spec needs a resolved integer seed; run specs through a "
+            "Session (which draws fresh entropy for seed=None)"
+        )
+    budget = spec.budget
+    policy = spec.policy
+    parallel = policy.parallel_config()
+
+    graphs = spec.graphs.build(seed)
+    names = [graph.name for graph in graphs]
+    if len(set(names)) != len(names):
+        # Entries, ratios, and report tables are all keyed by graph name;
+        # duplicates would silently merge distinct graphs' results.
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValidationError(
+            f"suite graphs must have unique names; duplicated: {duplicates} "
+            f"(pass name=... to the generators)"
+        )
+
+    started = time.perf_counter()
+    entries: List[ArenaEntry] = []
+    for g, graph in enumerate(graphs):
+        # Root of suite graph g; trials are its spawn children (g, i).
+        root = paired_seed(seed, g)
+        for solver_spec in solver_specs:
+            cell_started = time.perf_counter()
+            on_engine = bool(policy.use_engine and solver_spec.batchable)
+            if on_engine:
+                best, mean, trials_run, samples_run, metadata = _run_engine_cell(
+                    solver_spec, graph, budget, root, policy.backend
+                )
+            else:
+                best, mean, trials_run, samples_run, metadata = _run_sequential_cell(
+                    solver_spec, graph, budget, root, parallel
+                )
+            elapsed = time.perf_counter() - cell_started
+            if budget.max_seconds is not None and elapsed > budget.max_seconds:
+                metadata.setdefault("budget_overrun_seconds",
+                                    float(elapsed - budget.max_seconds))
+            if solver_spec.budget == "ignored":
+                samples_run = 0
+            total_samples = trials_run * samples_run
+            entries.append(ArenaEntry(
+                solver=solver_spec.key,
+                graph_name=graph.name,
+                n_vertices=graph.n_vertices,
+                n_edges=graph.n_edges,
+                total_weight=float(graph.total_weight),
+                best_weight=best,
+                mean_weight=mean,
+                cut_ratio=0.0,  # filled below once the per-graph best is known
+                n_trials=trials_run,
+                n_samples=samples_run,
+                elapsed_seconds=float(elapsed),
+                samples_per_second=(total_samples / elapsed) if elapsed > 0 and total_samples
+                                   else 0.0,
+                used_engine=on_engine,
+                backend=metadata.get("engine_backend", ""),
+                deterministic=solver_spec.deterministic,
+                budget_semantics=solver_spec.budget,
+                metadata=metadata,
+            ))
+
+    # Arena-relative ratios: per graph, the best weight any solver found.
+    best_by_graph = {}
+    for entry in entries:
+        current = best_by_graph.get(entry.graph_name, 0.0)
+        best_by_graph[entry.graph_name] = max(current, entry.best_weight)
+    entries = [
+        dataclasses.replace(
+            entry,
+            cut_ratio=relative_cut_weight(entry.best_weight, best_by_graph[entry.graph_name]),
+        )
+        for entry in entries
+    ]
+
+    return ArenaResult(
+        suite=spec.graphs.label,
+        solvers=tuple(s.key for s in solver_specs),
+        graph_names=tuple(graph.name for graph in graphs),
+        n_trials=budget.n_trials,
+        n_samples=budget.n_samples,
+        seed=seed,
+        entries=entries,
+        elapsed_seconds=float(time.perf_counter() - started),
+    )

@@ -117,7 +117,8 @@ class TestCommands:
         assert "engine[" in out
         assert "mean cut ratio" in out  # --plot bar chart
         payload = json.loads(out_file.read_text())
-        assert payload["experiment"] == "compare"
+        # The shim persists through the unified workload path (`run arena`).
+        assert payload["experiment"] == "arena"
         assert payload["config"]["suite"] == "er-small"
         engine_flags = {r["solver"]: r["used_engine"] for r in payload["results"]}
         assert engine_flags["lif_tr"] is True
@@ -132,7 +133,7 @@ class TestCommands:
         ])
         assert code == 0
         assert out_file.exists()
-        assert json.loads(out_file.read_text())["experiment"] == "compare"
+        assert json.loads(out_file.read_text())["experiment"] == "arena"
 
     def test_compare_unknown_solver_is_friendly_error(self, capsys):
         code = main(["compare", "--solvers", "random,quantum"])

@@ -49,6 +49,7 @@ PUBLIC_PACKAGES = [
     "repro.sdp",
     "repro.spectral",
     "repro.utils",
+    "repro.workloads",
 ]
 
 
@@ -90,8 +91,8 @@ class TestDocstrings:
 class TestReadme:
     def test_readme_exists_and_mentions_quickstart_commands(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-        for command in ("repro solve", "repro engine", "repro compare",
-                        "pip install -e ."):
+        for command in ("repro run", "repro workloads", "repro solve",
+                        "repro engine", "repro compare", "pip install -e ."):
             assert command in readme, f"README lost the {command!r} quickstart"
 
     def test_readme_architecture_map_matches_source_tree(self):
@@ -114,6 +115,8 @@ class TestCliHelp:
 
     @pytest.mark.parametrize("argv", [
         ["--help"],
+        ["run", "--help"],
+        ["workloads", "--help"],
         ["solve", "--help"],
         ["engine", "--help"],
         ["compare", "--help"],

@@ -57,6 +57,107 @@ class TestResultsToJsonable:
         assert json.loads(text) == payload
 
 
+def _toy_instances():
+    """One toy instance of every registered result type (keyed by type name)."""
+    from repro.arena.results import ArenaEntry
+    from repro.experiments.figure3 import Figure3Cell
+    from repro.experiments.figure4 import Figure4Panel
+    from repro.experiments.runner import run_circuit_trials
+    from repro.graphs.generators import erdos_renyi
+    from repro.workloads import RunReport
+
+    graph = erdos_renyi(10, 0.5, seed=0, name="toy10")
+    solve_result = run_circuit_trials(
+        graph=graph, circuit="lif_tr", n_trials=2, n_samples=4, seed=0
+    )
+    counts = np.array([1, 2, 4])
+    curve = {"lif_gw": np.array([0.5, 0.7, 0.9])}
+    arena_entry = ArenaEntry(
+        solver="random", graph_name="toy10", n_vertices=10, n_edges=20,
+        total_weight=20.0, best_weight=12.0, mean_weight=11.0, cut_ratio=1.0,
+        n_trials=2, n_samples=8, elapsed_seconds=0.01, samples_per_second=1600.0,
+        used_engine=False, metadata={"trial_weights": [11.0, 12.0]},
+    )
+    instances = [
+        _toy_row(),
+        _toy_point(),
+        Figure3Cell(
+            n_vertices=10, probability=0.5, sample_counts=counts,
+            curves=dict(curve), sems=dict(curve),
+            solver_best_weights=np.array([12.0]), metadata={"n_graphs": 1},
+        ),
+        Figure4Panel(
+            graph_name="toy10", n_vertices=10, n_edges=20, sample_counts=counts,
+            curves=dict(curve), solver_best_weight=12.0,
+            best_weights={"lif_gw": 11.0}, metadata={},
+        ),
+        solve_result,
+        arena_entry,
+        RunReport(
+            workload="arena", seed=0, params={"suite": "er-small"},
+            records=[arena_entry], leaderboard=[{"solver": "random", "score": 1.0}],
+            elapsed_seconds=0.02, metadata={"suite": "er-small"}, version="1.0.0",
+        ),
+    ]
+    return {type(instance).__name__: instance for instance in instances}
+
+
+class TestEveryRegisteredTypeRoundTrips:
+    """Satellite contract: load_results round-trips every registered type."""
+
+    def test_toy_instances_cover_the_registry(self):
+        from repro.experiments.runner import _RESULT_TYPES
+
+        covered = set(_toy_instances())
+        registered = {t.__name__ for t in _RESULT_TYPES}
+        assert registered <= covered, f"missing toys for {registered - covered}"
+
+    @pytest.mark.parametrize("type_name", [
+        "Table1Row", "AblationPoint", "Figure3Cell", "Figure4Panel",
+        "SolveResult", "ArenaEntry", "RunReport",
+    ])
+    def test_round_trip(self, type_name, tmp_path):
+        instance = _toy_instances()[type_name]
+        path = tmp_path / f"{type_name}.json"
+        save_results(path, "round-trip", [instance], config={"type": type_name})
+        loaded = load_results(path)
+        assert loaded.result_type() == type_name
+        assert loaded.config == {"type": type_name}
+        # The payload is what a fresh JSON parse sees — fully JSON-safe.
+        assert loaded.results == json.loads(path.read_text())["results"]
+
+    def test_dynamically_registered_type_round_trips(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments import runner as runner_module
+
+        @dataclasses.dataclass(frozen=True)
+        class _CustomResult:
+            label: str
+            values: list
+
+        try:
+            runner_module.register_result_type(_CustomResult)
+            path = tmp_path / "custom.json"
+            save_results(path, "custom", [_CustomResult("x", [1, 2.5])])
+            loaded = load_results(path)
+            assert loaded.result_type() == "_CustomResult"
+            assert loaded.results[0]["values"] == [1, 2.5]
+        finally:
+            runner_module._RESULT_TYPES = tuple(
+                t for t in runner_module._RESULT_TYPES if t is not _CustomResult
+            )
+
+    def test_run_report_nested_records_serialise(self, tmp_path):
+        report = _toy_instances()["RunReport"]
+        path = tmp_path / "nested.json"
+        save_results(path, "workload", [report])
+        loaded = load_results(path)
+        nested = loaded.results[0]["records"][0]
+        assert nested["__type__"] == "ArenaEntry"
+        assert nested["best_weight"] == 12.0
+
+
 class TestSaveAndLoad:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "results.json"
