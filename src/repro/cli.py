@@ -5,8 +5,15 @@ Commands
 run         Run any registered workload (the unified entry point):
             ``repro run <workload> [--param k=v] [--trials N] [--samples N]``.
             ``--plan`` previews the execution without running; ``--save``
-            persists the uniform RunReport JSON.
+            persists the uniform RunReport JSON.  ``--shards N`` splits the
+            run into checkpointable shards (``--checkpoint-dir`` persists
+            them; ``--resume`` skips completed shards after a crash).
 workloads   List the registered workloads and their parameters.
+merge       Merge a shard checkpoint directory into a report without
+            re-running anything (``repro merge <dir>``).
+bench       Run the performance benchmark workload and write the schema'd
+            BENCH artifact; ``--check benchmarks/baseline.json`` gates the
+            measured speedups against committed floors (CI's bench-smoke).
 solve       Run one solver (circuit or classical) on a graph and print the cut.
 engine      Run trial-parallel batched circuit simulation (repro.engine):
             many independent trials of one circuit on one graph in a single
@@ -96,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the execution plan and exit without running")
     run.add_argument("--plot", action="store_true",
                      help="render the workload's ASCII plot, if it has one")
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="split the run into N checkpointable shards "
+                          "(results are identical to an unsharded run)")
+    run.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                     help="directory for the shard manifest and per-shard "
+                          "atomic checkpoint files")
+    run.add_argument("--resume", action="store_true",
+                     help="skip shards already completed in --checkpoint-dir "
+                          "(rerun the same command after a crash/kill)")
+    run.add_argument("--shard-index", type=int, default=None, metavar="K",
+                     help="worker mode: execute only shard K of --shards N "
+                          "into --checkpoint-dir and exit without merging — "
+                          "run one worker per shard (on any machine sharing "
+                          "the directory), then `repro merge DIR`")
     # SUPPRESS (not a value) so the global `repro --seed/--save ... run ...`
     # spellings keep working while `repro run <w> --seed N --save F` is also
     # accepted (the subcommand-position spelling the docs use).
@@ -106,6 +127,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     # workloads --------------------------------------------------------------
     subparsers.add_parser("workloads", help="list the registered workloads")
+
+    # merge ------------------------------------------------------------------
+    merge = subparsers.add_parser(
+        "merge",
+        help="merge a shard checkpoint directory into a report",
+        description=(
+            "Fold the completed shard checkpoints written by "
+            "`repro run <workload> --shards N --checkpoint-dir DIR` into the "
+            "workload's report, without re-running anything. Incomplete "
+            "directories fail and name the missing shards (rerun with "
+            "--resume to complete them)."
+        ),
+    )
+    merge.add_argument("directory", metavar="DIR",
+                       help="checkpoint directory (contains manifest.json)")
+    merge.add_argument("--plot", action="store_true",
+                       help="render the workload's ASCII plot, if it has one")
+    merge.add_argument("--save", type=str, default=argparse.SUPPRESS, metavar="FILE",
+                       help="write the merged RunReport to this JSON file")
+
+    # bench ------------------------------------------------------------------
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the performance benchmark workload (perf-gating artifact)",
+        description=(
+            "Time engine-vs-sequential and sharded-vs-monolithic execution "
+            "on an arena suite, print the speedup leaderboard, and write the "
+            "schema'd benchmark artifact. With --check, exit non-zero when "
+            "any measured speedup falls below the committed baseline floors."
+        ),
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced budgets for CI smoke runs (~seconds)")
+    bench.add_argument("--suite", type=str, default=None,
+                       help="graph suite to benchmark on (default: er-small)")
+    bench.add_argument("--trials", type=int, default=None,
+                       help="trials per scenario (default: 16, quick: 6)")
+    bench.add_argument("--samples", type=int, default=None,
+                       help="read-outs per trial (default: 128, quick: 48)")
+    bench.add_argument("--out", type=str, default="BENCH_4.json", metavar="FILE",
+                       help="benchmark artifact path (default: BENCH_4.json)")
+    bench.add_argument("--check", type=str, default=None, metavar="BASELINE",
+                       help="baseline JSON with per-scenario min_speedup floors; "
+                            "exit 1 when the gate fails")
 
     # solve ------------------------------------------------------------------
     solve = subparsers.add_parser("solve", help="run one solver on one graph")
@@ -232,10 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _render_report(workload, report, plot: bool) -> None:
-    """Print a workload report: formatted body, optional plot, winner line."""
+    """Print a workload report: formatted body, optional plot, winner line.
+
+    *workload* may be ``None`` (e.g. merging checkpoints of an unregistered
+    ad-hoc spec) — the generic leaderboard table is used.
+    """
     from repro.experiments.reporting import format_table
 
-    if workload.formatter is not None:
+    if workload is not None and workload.formatter is not None:
         print(workload.formatter(report))
     else:
         rows = [
@@ -243,7 +312,7 @@ def _render_report(workload, report, plot: bool) -> None:
             for row in report.leaderboard
         ]
         print(format_table(["competitor", "score"], rows))
-    if plot and workload.plotter is not None:
+    if plot and workload is not None and workload.plotter is not None:
         print()
         print(workload.plotter(report))
     winner = report.winner()
@@ -257,6 +326,9 @@ def _execute_workload(
     save: Optional[str],
     plot: bool = False,
     plan_only: bool = False,
+    shards: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> int:
     """Build a session for workload *name*, run it, render, persist."""
     from repro.workloads import Session, get_workload
@@ -267,10 +339,22 @@ def _execute_workload(
         if plan_only:
             print(session.plan().describe())
             return 0
-        report = session.run()
+        report = session.run(
+            shards=shards, checkpoint_dir=checkpoint_dir, resume=resume
+        )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    distrib = report.metadata.get("distrib")
+    if distrib:
+        print(
+            f"shards: {distrib['n_shards']} over {distrib['n_units']} unit(s)"
+            + (f", resumed {len(distrib['resumed_shards'])} completed shard(s)"
+               if distrib["resumed_shards"] else "")
+            + (f", checkpoints in {distrib['checkpoint_dir']}"
+               if distrib["checkpoint_dir"] else "")
+            + "\n"
+        )
     _render_report(workload, report, plot=plot)
     if save:
         report.save(save)
@@ -300,10 +384,136 @@ def _command_run(args: argparse.Namespace) -> int:
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # --plan wins over worker mode: a routing preview must never execute or
+    # write anything, whatever other flags are present.
+    if args.shard_index is not None and not args.plan:
+        if args.save or args.plot:
+            print(
+                "note: --save/--plot apply to merged reports; ignored in "
+                "worker mode (run `repro merge` when all shards are done)",
+                file=sys.stderr,
+            )
+        return _execute_single_shard(
+            args.workload, overrides, n_shards=args.shards,
+            shard_index=args.shard_index, checkpoint_dir=args.checkpoint_dir,
+        )
     return _execute_workload(
         args.workload, overrides, save=args.save, plot=args.plot,
-        plan_only=args.plan,
+        plan_only=args.plan, shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
     )
+
+
+def _execute_single_shard(
+    name: str,
+    overrides: Dict[str, Any],
+    n_shards: int,
+    shard_index: int,
+    checkpoint_dir: Optional[str],
+) -> int:
+    """Worker mode: run exactly one shard into the checkpoint directory."""
+    from repro.distrib import execute_single_shard
+    from repro.workloads import Session
+
+    try:
+        if checkpoint_dir is None:
+            raise ValidationError("--shard-index requires --checkpoint-dir")
+        session = Session.from_workload(name, **overrides)
+        status = execute_single_shard(
+            session.spec, n_shards, shard_index, checkpoint_dir,
+            workload=session.workload,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "already complete (skipped)" if status["skipped"] else "completed"
+    print(f"shard {shard_index}/{status['n_shards']} {verb} "
+          f"({status['n_units']} unit(s)) -> {checkpoint_dir}")
+    if status["complete"]:
+        print(f"all {status['n_shards']} shards complete — merge with: "
+              f"repro merge {checkpoint_dir}")
+    else:
+        print(f"waiting on shard(s) {status['missing_shards']}")
+    return 0
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.distrib import merge_checkpoints
+    from repro.workloads.registry import WORKLOADS
+    from repro.workloads.report import RunReport
+
+    try:
+        outcome, manifest = merge_checkpoints(args.directory)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    name = str(manifest.get("workload", "workload"))
+    spec_dict = dict(manifest.get("spec") or {})
+    distrib = outcome.metadata.get("distrib", {})
+    report = RunReport(
+        workload=name,
+        seed=spec_dict.get("seed"),
+        params=dict(spec_dict.get("params") or {}),
+        records=list(outcome.records),
+        leaderboard=list(outcome.leaderboard),
+        elapsed_seconds=float(sum(distrib.get("shard_elapsed_seconds", []))),
+        metadata=dict(outcome.metadata),
+        version=__version__,
+    )
+    print(
+        f"merged {distrib.get('n_shards', '?')} shard(s) / "
+        f"{distrib.get('n_units', '?')} unit(s) of workload {name!r} "
+        f"from {args.directory}\n"
+    )
+    _render_report(WORKLOADS.get(name), report, plot=args.plot)
+    if args.save:
+        report.save(args.save)
+        print(f"\nresults written to {args.save}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.workloads import Session, check_baseline, get_workload
+    from repro.workloads.bench import load_baseline
+
+    overrides: Dict[str, Any] = {
+        "seed": args.seed,
+        "trials": args.trials if args.trials is not None else (6 if args.quick else 16),
+        "samples": args.samples if args.samples is not None else (48 if args.quick else 128),
+    }
+    if args.suite is not None:
+        overrides["suite"] = args.suite
+    try:
+        workload = get_workload("bench")
+        report = Session.from_workload("bench", **overrides).run()
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Always render the bar-chart leaderboard: the bench's whole point is
+    # the at-a-glance speedup trajectory.
+    _render_report(workload, report, plot=True)
+    report.save(args.out)
+    print(f"\nbenchmark artifact written to {args.out}")
+    if args.save and args.save != args.out:
+        # Honor the global --save contract like every other subcommand.
+        report.save(args.save)
+        print(f"results written to {args.save}")
+    if args.check:
+        try:
+            baseline = load_baseline(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.check!r}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_baseline(report, baseline)
+        if failures:
+            print(f"\nbaseline gate FAILED against {args.check}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        floors = dict(baseline.get("min_speedup", {}))
+        print(f"baseline gate: OK ({len(floors)} floor(s) from {args.check})")
+    return 0
 
 
 def _command_workloads(_args: argparse.Namespace) -> int:
@@ -505,6 +715,8 @@ def _command_ablation(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _command_run,
     "workloads": _command_workloads,
+    "merge": _command_merge,
+    "bench": _command_bench,
     "solve": _command_solve,
     "engine": _command_engine,
     "compare": _command_compare,

@@ -1,0 +1,482 @@
+"""Shard adapters: how each workload splits into units and merges back.
+
+A :class:`ShardAdapter` is the three-function contract a workload implements
+to become shardable:
+
+``units(spec, n_shards)``
+    Enumerate the run's atomic units as JSON-safe tuples, in canonical
+    order.  Units must be *seed-independent*: every unit derives its
+    randomness from the spec seed and its own key (the library's paired
+    ``SeedSequence(seed, spawn_key=...)`` convention), never from which
+    shard runs it.
+``run_units(spec, units)``
+    Execute a subset of units and return one JSON-safe payload per unit
+    (aligned with the input order).
+``merge(spec, units, payloads)``
+    Fold the payloads of **all** units (in canonical order) into the
+    workload's uniform :class:`~repro.workloads.report.WorkloadOutcome`,
+    reusing the exact aggregation arithmetic of the monolithic executor.
+
+Workloads running through the generic capability-routed executor need no
+registration — :data:`GENERIC_ADAPTER` shards them by (graph x solver x
+trial-range) cells automatically.  Custom-executor workloads (the paper
+figures/table/ablations, the bench workload) register an adapter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+from repro.workloads.executor import (
+    cell_units,
+    entries_from_payloads,
+    result_from_entries,
+    run_cell_units,
+)
+from repro.workloads.registry import Workload
+from repro.workloads.report import WorkloadOutcome
+from repro.workloads.session import arena_outcome_from_result
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ShardAdapter",
+    "SHARD_ADAPTERS",
+    "register_shard_adapter",
+    "get_shard_adapter",
+    "GENERIC_ADAPTER",
+]
+
+Unit = Tuple
+UnitsFn = Callable[[WorkloadSpec, int], List[Unit]]
+RunUnitsFn = Callable[[WorkloadSpec, Sequence[Unit]], List[Any]]
+MergeFn = Callable[[WorkloadSpec, Sequence[Unit], Sequence[Any]], WorkloadOutcome]
+
+
+@dataclass(frozen=True)
+class ShardAdapter:
+    """The unit-enumerate / unit-run / merge triple for one workload."""
+
+    units: UnitsFn
+    run_units: RunUnitsFn
+    merge: MergeFn
+
+
+#: Workload name → adapter registry (custom-executor workloads only).
+SHARD_ADAPTERS: Dict[str, ShardAdapter] = {}
+
+
+def register_shard_adapter(
+    name: str, adapter: ShardAdapter, overwrite: bool = False
+) -> ShardAdapter:
+    """Register *adapter* for workload *name* (collisions raise)."""
+    if name in SHARD_ADAPTERS and not overwrite:
+        raise ValidationError(
+            f"shard adapter for workload {name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    SHARD_ADAPTERS[name] = adapter
+    return adapter
+
+
+def get_shard_adapter(
+    spec: WorkloadSpec, workload: Optional[Workload] = None
+) -> ShardAdapter:
+    """Resolve the adapter for *spec*.
+
+    Explicit registrations win; workloads without a custom executor fall back
+    to the generic (graph x solver x trial-range) adapter; a custom-executor
+    workload without a registration is not shardable and raises.
+    """
+    if spec.workload in SHARD_ADAPTERS:
+        return SHARD_ADAPTERS[spec.workload]
+    if workload is None or workload.execute is None:
+        return GENERIC_ADAPTER
+    raise ValidationError(
+        f"workload {spec.workload!r} has a custom executor and no shard "
+        f"adapter; register one with repro.distrib.register_shard_adapter"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generic adapter: any spec on the capability-routed executor
+# ---------------------------------------------------------------------------
+
+
+def _generic_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    return [tuple(unit) for unit in cell_units(spec, n_shards=n_shards)]
+
+
+def _generic_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    return run_cell_units(spec, [tuple(u) for u in units])
+
+
+def _generic_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    entries = entries_from_payloads(spec, list(payloads))
+    names_by_index = {
+        int(p["graph_index"]): str(p["graph_name"]) for p in payloads
+    }
+    graph_names = [names_by_index[g] for g in sorted(names_by_index)]
+    elapsed = float(sum(p["elapsed_seconds"] for p in payloads))
+    result = result_from_entries(spec, graph_names, entries, elapsed)
+    return arena_outcome_from_result(result)
+
+
+GENERIC_ADAPTER = ShardAdapter(
+    units=_generic_units, run_units=_generic_run, merge=_generic_merge
+)
+
+
+# ---------------------------------------------------------------------------
+# figure3: unit = one graph of one (n, p) cell
+# ---------------------------------------------------------------------------
+
+
+def _figure3_config(spec: WorkloadSpec):
+    from repro.workloads.paper import _figure3_config as build
+
+    return build(dict(spec.params), spec.seed)
+
+
+def _figure3_cells(config) -> List[Tuple[int, float]]:
+    return [(n, p) for n in config.sizes for p in config.probabilities]
+
+
+def _figure3_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    config = _figure3_config(spec)
+    return [
+        (cell_index, j)
+        for cell_index in range(len(_figure3_cells(config)))
+        for j in range(config.n_graphs_per_cell)
+    ]
+
+
+def _figure3_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.experiments.figure3 import run_figure3_graph
+
+    config = _figure3_config(spec)
+    cells = _figure3_cells(config)
+    payloads = []
+    for cell_index, j in units:
+        n, p = cells[int(cell_index)]
+        result = run_figure3_graph(n, p, int(j), config=config)
+        payloads.append({
+            key: np.asarray(value).tolist() for key, value in result.items()
+        })
+    return payloads
+
+
+def _figure3_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.experiments.figure3 import figure3_cell_from_graph_results
+    from repro.workloads.paper import figure3_outcome
+
+    config = _figure3_config(spec)
+    cells = _figure3_cells(config)
+    by_cell: Dict[int, List[Tuple[int, Any]]] = {}
+    for (cell_index, j), payload in zip(units, payloads):
+        by_cell.setdefault(int(cell_index), []).append((int(j), payload))
+    records = []
+    for cell_index, (n, p) in enumerate(cells):
+        graphs = sorted(by_cell.get(cell_index, []))
+        if len(graphs) != config.n_graphs_per_cell:
+            raise ValidationError(
+                f"figure3 cell {cell_index} has {len(graphs)} of "
+                f"{config.n_graphs_per_cell} graph payloads"
+            )
+        results = [
+            {key: np.asarray(value) for key, value in payload.items()}
+            for _, payload in graphs
+        ]
+        records.append(
+            figure3_cell_from_graph_results(n, p, results, config=config)
+        )
+    return figure3_outcome(records, config)
+
+
+# ---------------------------------------------------------------------------
+# figure4 / table1: unit = one empirical graph (by sweep index)
+# ---------------------------------------------------------------------------
+
+
+def _figure4_names(spec: WorkloadSpec) -> List[str]:
+    from repro.graphs.repository import list_empirical_graphs
+
+    return list(spec.params["graphs"]) or list_empirical_graphs()
+
+
+def _figure4_config(spec: WorkloadSpec):
+    from repro.experiments.config import Figure4Config
+
+    return Figure4Config(n_samples=int(spec.params["samples"]), seed=spec.seed)
+
+
+def _figure4_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    return [(g,) for g in range(len(_figure4_names(spec)))]
+
+
+def _figure4_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.experiments.figure4 import run_figure4_panel
+
+    config = _figure4_config(spec)
+    names = _figure4_names(spec)
+    payloads = []
+    for (g,) in units:
+        panel = run_figure4_panel(names[int(g)], config=config, graph_index=int(g))
+        payloads.append({
+            "graph_name": panel.graph_name,
+            "n_vertices": int(panel.n_vertices),
+            "n_edges": int(panel.n_edges),
+            "sample_counts": np.asarray(panel.sample_counts).tolist(),
+            "curves": {
+                method: np.asarray(curve).tolist()
+                for method, curve in panel.curves.items()
+            },
+            "solver_best_weight": float(panel.solver_best_weight),
+            "best_weights": {
+                method: float(weight)
+                for method, weight in panel.best_weights.items()
+            },
+            "metadata": dict(panel.metadata),
+        })
+    return payloads
+
+
+def _figure4_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.experiments.figure4 import Figure4Panel
+    from repro.workloads.paper import figure4_outcome
+
+    config = _figure4_config(spec)
+    ordered = sorted(zip(units, payloads), key=lambda item: int(item[0][0]))
+    panels = [
+        Figure4Panel(
+            graph_name=str(p["graph_name"]),
+            n_vertices=int(p["n_vertices"]),
+            n_edges=int(p["n_edges"]),
+            sample_counts=np.asarray(p["sample_counts"]),
+            curves={
+                method: np.asarray(curve, dtype=np.float64)
+                for method, curve in p["curves"].items()
+            },
+            solver_best_weight=float(p["solver_best_weight"]),
+            best_weights={
+                method: float(weight)
+                for method, weight in p["best_weights"].items()
+            },
+            metadata=dict(p["metadata"]),
+        )
+        for _, p in ordered
+    ]
+    return figure4_outcome(panels, config)
+
+
+def _table1_config(spec: WorkloadSpec):
+    from repro.experiments.config import Table1Config
+
+    return Table1Config(n_samples=int(spec.params["samples"]), seed=spec.seed)
+
+
+def _table1_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    return [(g,) for g in range(len(_figure4_names(spec)))]
+
+
+def _table1_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.experiments.table1 import run_table1_row
+
+    config = _table1_config(spec)
+    names = _figure4_names(spec)
+    payloads = []
+    for (g,) in units:
+        row = run_table1_row(names[int(g)], config=config, graph_index=int(g))
+        payloads.append({
+            "graph_name": row.graph_name,
+            "n_vertices": int(row.n_vertices),
+            "n_edges": int(row.n_edges),
+            "measured": {k: float(v) for k, v in row.measured.items()},
+            "paper": {k: int(v) for k, v in row.paper.items()},
+            "is_surrogate": bool(row.is_surrogate),
+        })
+    return payloads
+
+
+def _table1_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.experiments.table1 import Table1Row
+    from repro.workloads.paper import table1_outcome
+
+    config = _table1_config(spec)
+    ordered = sorted(zip(units, payloads), key=lambda item: int(item[0][0]))
+    rows = [
+        Table1Row(
+            graph_name=str(p["graph_name"]),
+            n_vertices=int(p["n_vertices"]),
+            n_edges=int(p["n_edges"]),
+            measured={k: float(v) for k, v in p["measured"].items()},
+            paper={k: int(v) for k, v in p["paper"].items()},
+            is_surrogate=bool(p["is_surrogate"]),
+        )
+        for _, p in ordered
+    ]
+    return table1_outcome(rows, config)
+
+
+# ---------------------------------------------------------------------------
+# ablation: unit = one sweep setting (by global setting index)
+# ---------------------------------------------------------------------------
+
+
+def _ablation_config(spec: WorkloadSpec):
+    from repro.experiments.config import AblationConfig
+
+    params = dict(spec.params)
+    return AblationConfig(
+        n_vertices=int(params["vertices"]),
+        n_graphs=int(params["n_graphs"]),
+        n_samples=int(params["samples"]),
+        seed=spec.seed,
+    )
+
+
+def _ablation_setting_count(kind: str) -> int:
+    from repro.experiments.ablations import (
+        DEFAULT_LEARNING_RATES,
+        DEFAULT_RANKS,
+        DEVICE_MODELS,
+    )
+
+    return {
+        "devices": len(DEVICE_MODELS),
+        "rank": len(DEFAULT_RANKS),
+        "learning-rate": len(DEFAULT_LEARNING_RATES),
+    }[kind]
+
+
+def _ablation_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    return [(s,) for s in range(_ablation_setting_count(spec.params["kind"]))]
+
+
+#: Per-config cache of the ablation's classical-solver references — the
+#: expensive fixed stage every setting shares.  Keyed by the config dict, so
+#: an in-process sharded run (one _ablation_run call per shard) computes the
+#: references once instead of once per shard; separate worker processes
+#: still each pay for it once, which is the unavoidable per-machine cost.
+_ABLATION_REFERENCES: Dict[str, Any] = {}
+
+
+def _ablation_references(config) -> Any:
+    import json
+
+    from repro.experiments.ablations import _ablation_graphs, _solver_references
+
+    key = json.dumps(config.to_dict(), sort_keys=True)
+    if key not in _ABLATION_REFERENCES:
+        if len(_ABLATION_REFERENCES) > 8:
+            _ABLATION_REFERENCES.clear()
+        _ABLATION_REFERENCES[key] = _solver_references(
+            _ablation_graphs(config), config
+        )
+    return _ABLATION_REFERENCES[key]
+
+
+def _ablation_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.experiments.ablations import (
+        run_device_imperfection_ablation,
+        run_learning_rate_ablation,
+        run_rank_ablation,
+    )
+
+    config = _ablation_config(spec)
+    kind = spec.params["kind"]
+    wanted = [int(s) for (s,) in units]
+    only = sorted(set(wanted))
+    references = _ablation_references(config)
+    if kind == "devices":
+        points = run_device_imperfection_ablation(
+            config=config, circuit=spec.params["circuit"], only=only,
+            references=references,
+        )
+    elif kind == "rank":
+        points = run_rank_ablation(config=config, only=only, references=references)
+    else:
+        points = run_learning_rate_ablation(
+            config=config, only=only, references=references
+        )
+    by_index = dict(zip(only, points))
+    return [
+        {
+            "setting_index": s,
+            "setting": by_index[s].setting,
+            "mean_relative_cut": float(by_index[s].mean_relative_cut),
+            "sem": float(by_index[s].sem),
+            "per_graph": np.asarray(by_index[s].per_graph).tolist(),
+            "metadata": dict(by_index[s].metadata),
+        }
+        for s in wanted
+    ]
+
+
+def _ablation_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.experiments.ablations import AblationPoint
+    from repro.workloads.paper import ablation_outcome
+
+    config = _ablation_config(spec)
+    ordered = sorted(payloads, key=lambda p: int(p["setting_index"]))
+    points = [
+        AblationPoint(
+            setting=str(p["setting"]),
+            mean_relative_cut=float(p["mean_relative_cut"]),
+            sem=float(p["sem"]),
+            per_graph=np.asarray(p["per_graph"], dtype=np.float64),
+            metadata=dict(p["metadata"]),
+        )
+        for p in ordered
+    ]
+    return ablation_outcome(points, config, spec.params["kind"])
+
+
+# ---------------------------------------------------------------------------
+# bench: unit = one timed scenario
+# ---------------------------------------------------------------------------
+
+
+def _bench_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    from repro.workloads.bench import bench_scenarios
+
+    return [tuple(unit) for unit in bench_scenarios(spec)]
+
+
+def _bench_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.workloads.bench import run_bench_scenario
+
+    return [run_bench_scenario(spec, str(scenario)) for (scenario,) in units]
+
+
+def _bench_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.workloads.bench import _record_from_payload, bench_outcome
+
+    records = [_record_from_payload(payload) for payload in payloads]
+    return bench_outcome(records, spec)
+
+
+for _name, _adapter in (
+    ("figure3", ShardAdapter(_figure3_units, _figure3_run, _figure3_merge)),
+    ("figure4", ShardAdapter(_figure4_units, _figure4_run, _figure4_merge)),
+    ("table1", ShardAdapter(_table1_units, _table1_run, _table1_merge)),
+    ("ablation", ShardAdapter(_ablation_units, _ablation_run, _ablation_merge)),
+    ("bench", ShardAdapter(_bench_units, _bench_run, _bench_merge)),
+):
+    register_shard_adapter(_name, _adapter)
+del _name, _adapter

@@ -66,7 +66,9 @@ class BatchedSolverEngine:
         if request.n_trials == 0:
             return self._empty_result(request, circuit, backend.name, graph)
 
-        seeds = trial_seed_sequences(request.seed, request.n_trials)
+        seeds = trial_seed_sequences(
+            request.seed, request.n_trials, start=request.trial_offset
+        )
         sampler = BatchDeviceSampler(
             circuit.build_device_pool, seeds, n_devices=plan.n_devices
         )
@@ -328,7 +330,9 @@ def sequential_solve(request: SolveRequest) -> SolveResult:
     if request.n_trials == 0:
         return engine._empty_result(request, circuit, "sequential", graph)
 
-    seeds = trial_seed_sequences(request.seed, request.n_trials)
+    seeds = trial_seed_sequences(
+        request.seed, request.n_trials, start=request.trial_offset
+    )
     trajectories = np.zeros((request.n_trials, request.n_samples))
     best_weights = np.full(request.n_trials, -np.inf)
     best_assignments = np.zeros(

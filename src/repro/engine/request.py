@@ -93,6 +93,11 @@ class SolveRequest:
         result.
     n_samples:
         Cut read-outs per trial (upper bound when early stopping is enabled).
+    trial_offset:
+        Index of the first trial in the batch.  Trial ``j`` of the batch is
+        seeded as *global* trial ``trial_offset + j``, so a request split
+        into consecutive offset blocks reproduces the unsplit batch trial
+        for trial (used by the sharded executor, :mod:`repro.distrib`).
     seed:
         Root seed; see the module docstring for the per-trial derivation.
     config:
@@ -123,6 +128,7 @@ class SolveRequest:
     graph: Optional[object] = None
     n_trials: int = 1
     n_samples: int = 64
+    trial_offset: int = 0
     seed: Union[None, int, np.random.SeedSequence] = None
     config: Optional[object] = None
     backend: str = "auto"
@@ -134,6 +140,10 @@ class SolveRequest:
     def __post_init__(self) -> None:
         if self.n_trials < 0:
             raise ValidationError(f"n_trials must be >= 0, got {self.n_trials}")
+        if self.trial_offset < 0:
+            raise ValidationError(
+                f"trial_offset must be >= 0, got {self.trial_offset}"
+            )
         if self.n_samples < 1:
             raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
         if self.max_block_bytes < 1:

@@ -27,7 +27,9 @@ __all__ = ["BatchDeviceSampler", "trial_seed_sequences"]
 
 
 def trial_seed_sequences(
-    seed: Union[None, int, np.random.SeedSequence], n_trials: int
+    seed: Union[None, int, np.random.SeedSequence],
+    n_trials: int,
+    start: int = 0,
 ) -> List[np.random.SeedSequence]:
     """Per-trial ``SeedSequence`` children of a root seed.
 
@@ -36,9 +38,17 @@ def trial_seed_sequences(
     not from the ``None``).  An integer or ``SeedSequence`` root yields the
     deterministic ``spawn_key=(i,)`` children shared with
     :class:`repro.utils.rng.SeedStream` and :func:`repro.parallel.seeds.seeded_tasks`.
+
+    *start* shifts the trial indices: the returned sequences are the children
+    for global trials ``start .. start + n_trials - 1``.  A run split into
+    consecutive ``[start, stop)`` blocks therefore consumes exactly the seeds
+    of the unsplit run — the property the sharded workload executor
+    (:mod:`repro.distrib`) relies on.
     """
     if n_trials < 0:
         raise ValidationError(f"n_trials must be >= 0, got {n_trials}")
+    if start < 0:
+        raise ValidationError(f"start must be >= 0, got {start}")
     if isinstance(seed, np.random.SeedSequence):
         entropy, base_key = seed.entropy, tuple(seed.spawn_key)
     elif seed is None:
@@ -51,7 +61,7 @@ def trial_seed_sequences(
         )
     return [
         np.random.SeedSequence(entropy=entropy, spawn_key=base_key + (i,))
-        for i in range(n_trials)
+        for i in range(start, start + n_trials)
     ]
 
 

@@ -36,10 +36,18 @@ from repro.utils.rng import SeedStream, paired_seed
 __all__ = [
     "AblationPoint",
     "DEVICE_MODELS",
+    "DEFAULT_RANKS",
+    "DEFAULT_LEARNING_RATES",
     "run_device_imperfection_ablation",
     "run_rank_ablation",
     "run_learning_rate_ablation",
 ]
+
+#: Default rank sweep of :func:`run_rank_ablation` (the paper fixes rank 4).
+DEFAULT_RANKS = (2, 3, 4, 8, 16)
+
+#: Default learning-rate sweep of :func:`run_learning_rate_ablation`.
+DEFAULT_LEARNING_RATES = (0.001, 0.005, 0.02, 0.1)
 
 _logger = get_logger("experiments.ablations")
 
@@ -80,6 +88,21 @@ def _ablation_graphs(config: AblationConfig) -> list:
     ]
 
 
+def _resolve_references(
+    graphs, config: AblationConfig, references: Optional[np.ndarray]
+) -> np.ndarray:
+    """Use caller-supplied per-graph solver normalisers, or compute them."""
+    if references is None:
+        return _solver_references(graphs, config)
+    references = np.asarray(references, dtype=np.float64)
+    if references.shape != (len(graphs),):
+        raise ValueError(
+            f"references must have one entry per graph ({len(graphs)}), "
+            f"got shape {references.shape}"
+        )
+    return references
+
+
 def _solver_references(graphs, config: AblationConfig) -> np.ndarray:
     stream = SeedStream(None if config.seed is None else config.seed + 1)
     refs = []
@@ -93,18 +116,32 @@ def run_device_imperfection_ablation(
     config: Optional[AblationConfig] = None,
     circuit: str = "lif_gw",
     device_models: Optional[Dict[str, Callable]] = None,
+    only: Optional[Sequence[int]] = None,
+    references: Optional[np.ndarray] = None,
 ) -> List[AblationPoint]:
-    """Sweep device models for one circuit type (``"lif_gw"`` or ``"lif_tr"``)."""
+    """Sweep device models for one circuit type (``"lif_gw"`` or ``"lif_tr"``).
+
+    *only* restricts the sweep to the given setting indices while keeping
+    each setting's global index — and therefore its paired
+    ``SeedSequence(base, spawn_key=(s, i))`` seeds — unchanged, so a subset
+    run reproduces exactly the corresponding points of the full sweep (the
+    contract the sharded executor relies on).  *references* supplies the
+    per-graph classical-solver normalisers (the expensive fixed stage) when
+    the caller has already computed them — they depend only on *config*, so
+    sharded subset runs can share one computation.
+    """
     if circuit not in ("lif_gw", "lif_tr"):
         raise ValueError(f"circuit must be 'lif_gw' or 'lif_tr', got {circuit!r}")
     config = config or AblationConfig()
     device_models = device_models or DEVICE_MODELS
     graphs = _ablation_graphs(config)
-    references = _solver_references(graphs, config)
+    references = _resolve_references(graphs, config, references)
     base = None if config.seed is None else config.seed + 2
 
     points: List[AblationPoint] = []
     for s, (label, factory) in enumerate(device_models.items()):
+        if only is not None and s not in only:
+            continue
         ratios = np.empty(len(graphs))
         for i, graph in enumerate(graphs):
             # Paired convention: setting s on graph i always draws the same
@@ -130,16 +167,24 @@ def run_device_imperfection_ablation(
 
 def run_rank_ablation(
     config: Optional[AblationConfig] = None,
-    ranks: Sequence[int] = (2, 3, 4, 8, 16),
+    ranks: Sequence[int] = DEFAULT_RANKS,
+    only: Optional[Sequence[int]] = None,
+    references: Optional[np.ndarray] = None,
 ) -> List[AblationPoint]:
-    """Sweep the LIF-GW SDP factorisation rank (the paper fixes 4)."""
+    """Sweep the LIF-GW SDP factorisation rank (the paper fixes 4).
+
+    *only* restricts to the given setting indices with unchanged seeds (see
+    :func:`run_device_imperfection_ablation`).
+    """
     config = config or AblationConfig()
     graphs = _ablation_graphs(config)
-    references = _solver_references(graphs, config)
+    references = _resolve_references(graphs, config, references)
     base = None if config.seed is None else config.seed + 3
 
     points: List[AblationPoint] = []
     for s, rank in enumerate(ranks):
+        if only is not None and s not in only:
+            continue
         gw_config = LIFGWConfig(rank=int(rank))
         ratios = np.empty(len(graphs))
         for i, graph in enumerate(graphs):
@@ -160,17 +205,25 @@ def run_rank_ablation(
 
 def run_learning_rate_ablation(
     config: Optional[AblationConfig] = None,
-    learning_rates: Sequence[float] = (0.001, 0.005, 0.02, 0.1),
+    learning_rates: Sequence[float] = DEFAULT_LEARNING_RATES,
     learning_rate_decay: float = 0.0,
+    only: Optional[Sequence[int]] = None,
+    references: Optional[np.ndarray] = None,
 ) -> List[AblationPoint]:
-    """Sweep the LIF-TR anti-Hebbian learning rate."""
+    """Sweep the LIF-TR anti-Hebbian learning rate.
+
+    *only* restricts to the given setting indices with unchanged seeds (see
+    :func:`run_device_imperfection_ablation`).
+    """
     config = config or AblationConfig()
     graphs = _ablation_graphs(config)
-    references = _solver_references(graphs, config)
+    references = _resolve_references(graphs, config, references)
     base = None if config.seed is None else config.seed + 4
 
     points: List[AblationPoint] = []
     for s, eta in enumerate(learning_rates):
+        if only is not None and s not in only:
+            continue
         tr_config = LIFTrevisanConfig(
             learning_rate=float(eta), learning_rate_decay=learning_rate_decay
         )

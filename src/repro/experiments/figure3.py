@@ -23,9 +23,16 @@ from repro.experiments.config import Figure3Config
 from repro.graphs.generators import erdos_renyi
 from repro.parallel.pool import ParallelConfig, parallel_map
 from repro.utils.logging import get_logger
-from repro.utils.rng import grid_cell_key, spawn_generators
+from repro.utils.rng import grid_cell_key, paired_seed, spawn_generators
 
-__all__ = ["Figure3Cell", "run_figure3_cell", "run_figure3", "METHODS"]
+__all__ = [
+    "Figure3Cell",
+    "run_figure3_graph",
+    "figure3_cell_from_graph_results",
+    "run_figure3_cell",
+    "run_figure3",
+    "METHODS",
+]
 
 _logger = get_logger("experiments.figure3")
 
@@ -69,13 +76,38 @@ def _relative_running_best(weights: np.ndarray, counts: np.ndarray, reference: f
 def _run_single_graph(task) -> Dict[str, np.ndarray]:
     """Run all four methods on one random graph (a single sweep work item)."""
     (n, p, config, graph_index) = task.payload
+    return _run_graph_seeded(n, p, config, graph_index, task.seed_sequence())
+
+
+def run_figure3_graph(
+    n_vertices: int,
+    probability: float,
+    graph_index: int,
+    config: Optional[Figure3Config] = None,
+) -> Dict[str, np.ndarray]:
+    """Run all four methods on graph *graph_index* of one (n, p) cell.
+
+    The atomic, independently schedulable unit of the Figure 3 sweep: all
+    randomness derives from the paired convention
+    ``SeedSequence(seed, spawn_key=(n, key(p), j))``, so the result is
+    identical whether the graph runs inside :func:`run_figure3_cell`, in a
+    process pool, or on its own shard (:mod:`repro.distrib`).
+    """
+    config = config or Figure3Config()
+    seed = paired_seed(
+        config.seed, *grid_cell_key(n_vertices, probability), graph_index
+    )
+    return _run_graph_seeded(n_vertices, probability, config, graph_index, seed)
+
+
+def _run_graph_seeded(
+    n: int, p: float, config: Figure3Config, graph_index: int, seed
+) -> Dict[str, np.ndarray]:
     # Paired seeding convention: graph j of cell (n, p) derives everything
     # from SeedSequence(seed, spawn_key=(n, key(p), j)); each method gets its
     # own spawned child, so methods stay paired per graph across execution
-    # modes (serial / process pool) and worker counts.
-    graph_rng, gw_rng, tr_rng, solver_rng, random_rng = spawn_generators(
-        task.seed_sequence(), 5
-    )
+    # modes (serial / process pool / sharded) and worker counts.
+    graph_rng, gw_rng, tr_rng, solver_rng, random_rng = spawn_generators(seed, 5)
     graph = erdos_renyi(n, p, seed=graph_rng, name=f"er_n{n}_p{p:g}_{graph_index}")
     counts = sample_points_log_spaced(config.n_samples)
 
@@ -130,19 +162,39 @@ def run_figure3_cell(
         base_key=grid_cell_key(n_vertices, probability),
     )
     results = parallel_map(_run_single_graph, tasks, config=parallel)
+    return figure3_cell_from_graph_results(
+        n_vertices, probability, results, config=config
+    )
 
-    counts = results[0]["sample_counts"]
+
+def figure3_cell_from_graph_results(
+    n_vertices: int,
+    probability: float,
+    results: List[Dict[str, np.ndarray]],
+    config: Optional[Figure3Config] = None,
+) -> Figure3Cell:
+    """Aggregate per-graph results (in graph order) into a :class:`Figure3Cell`.
+
+    *results* are the dictionaries produced by :func:`run_figure3_graph` for
+    graphs ``0 .. n_graphs_per_cell - 1`` of one (n, p) cell, in graph order.
+    Shared by :func:`run_figure3_cell` and the sharded merge path
+    (:mod:`repro.distrib`), so both aggregate with identical arithmetic.
+    """
+    config = config or Figure3Config()
+    counts = np.asarray(results[0]["sample_counts"])
     curves: Dict[str, np.ndarray] = {}
     sems: Dict[str, np.ndarray] = {}
     for method in METHODS:
-        stacked = np.vstack([r[method] for r in results])
+        stacked = np.vstack([np.asarray(r[method], dtype=np.float64) for r in results])
         means = np.empty(stacked.shape[1])
         errors = np.empty(stacked.shape[1])
         for j in range(stacked.shape[1]):
             means[j], errors[j] = mean_and_sem(stacked[:, j])
         curves[method] = means
         sems[method] = errors
-    solver_best_weights = np.concatenate([r["solver_best"] for r in results])
+    solver_best_weights = np.concatenate(
+        [np.asarray(r["solver_best"], dtype=np.float64) for r in results]
+    )
     _logger.info(
         "Figure 3 cell G(%d, %.2f): lif_gw=%.3f lif_tr=%.3f random=%.3f (final relative)",
         n_vertices, probability,
@@ -155,7 +207,7 @@ def run_figure3_cell(
         curves=curves,
         sems=sems,
         solver_best_weights=solver_best_weights,
-        metadata={"n_graphs": config.n_graphs_per_cell, "n_samples": config.n_samples},
+        metadata={"n_graphs": len(results), "n_samples": config.n_samples},
     )
 
 

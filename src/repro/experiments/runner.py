@@ -34,6 +34,7 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "results_to_jsonable",
     "save_results",
+    "atomic_write_json",
     "load_results",
     "register_result_type",
     "run_circuit_trials",
@@ -144,10 +145,44 @@ def save_results(
         results=results_to_jsonable(results),
         version=__version__,
     )
-    payload = dataclasses.asdict(record)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
+    atomic_write_json(path, dataclasses.asdict(record))
     return record
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> None:
+    """Write *payload* as JSON via a sibling temp file + ``os.replace``.
+
+    A crash (or kill) mid-write never leaves a truncated JSON at *path* —
+    the invariant the sharded executor's resume logic relies on ("an
+    existing checkpoint file is a complete checkpoint").  The temp name
+    comes from :func:`tempfile.mkstemp` (not the PID): shard workers on
+    *different hosts* can share a checkpoint directory over NFS, where PIDs
+    collide but mkstemp's O_EXCL create cannot.  Shared by
+    :func:`save_results` and the checkpoint manifest writer so both carry
+    identical durability guarantees.
+    """
+    import tempfile
+
+    # Write through symlinks (matching plain open(path, "w")) rather than
+    # replacing the link itself.
+    path = os.path.realpath(os.fspath(path))
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        # mkstemp creates 0600; restore the umask-governed mode plain
+        # open() would have used, so saved results stay group/world
+        # readable where the environment allows it.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
 
 
 def run_circuit_trials(

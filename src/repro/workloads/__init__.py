@@ -44,6 +44,8 @@ from repro.workloads.registry import (
 from repro.workloads.session import PlanStep, RunPlan, Session, run_workload
 from repro.workloads.executor import execute_spec
 from repro.workloads import paper as _paper  # registers the five paper workloads
+from repro.workloads import bench as _bench  # registers the bench workload
+from repro.workloads.bench import BenchRecord, check_baseline
 from repro.workloads.paper import arena_result_from_report
 
 __all__ = [
@@ -63,4 +65,6 @@ __all__ = [
     "run_workload",
     "execute_spec",
     "arena_result_from_report",
+    "BenchRecord",
+    "check_baseline",
 ]

@@ -1,0 +1,369 @@
+"""The ``bench`` workload: the library's performance trajectory, measured.
+
+A registered workload (``repro run bench`` / ``repro bench``) that times the
+two performance claims the architecture rests on and emits a schema'd JSON
+artifact (``BENCH_4.json``) a CI gate can diff against a committed tolerance
+baseline (``benchmarks/baseline.json``):
+
+``engine:<circuit>``
+    Trial-parallel batched engine vs the sequential per-trial reference on
+    the largest suite graph, identical seeds (the PR-1 speedup claim).
+    ``speedup = engine read-outs/s ÷ sequential read-outs/s`` — equivalently
+    time-per-read-out reference ÷ optimised — so > 1 means the engine wins.
+``sharded:arena``
+    A sharded in-memory arena run (:mod:`repro.distrib`) vs the same spec
+    run monolithically.  ``speedup`` here is mono/sharded wall time — it
+    measures *sharding overhead* (expected near, and allowed below, 1).
+
+Each scenario is one shard unit, so the bench workload itself shards and
+resumes like everything else.  Results are :class:`BenchRecord` rows — a
+registered result type — and the saved file's ``config.schema`` field names
+the artifact schema (:data:`BENCH_SCHEMA`).
+
+Gating
+------
+:func:`check_baseline` compares a bench report against a baseline file of
+per-scenario ``min_speedup`` floors; ``repro bench --check`` exits non-zero
+on any violation.  Floors are deliberately loose (CI machines are noisy);
+they catch order-of-magnitude regressions, not percent-level drift.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import register_result_type, run_circuit_trials
+from repro.utils.validation import ValidationError
+from repro.workloads.registry import Workload, register_workload
+from repro.workloads.report import RunReport, WorkloadOutcome
+from repro.workloads.spec import (
+    Budget,
+    ExecutionPolicy,
+    GraphSource,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "BenchRecord",
+    "BENCH_SCHEMA",
+    "bench_scenarios",
+    "run_bench_scenario",
+    "bench_outcome",
+    "check_baseline",
+]
+
+#: Schema tag written into every saved bench artifact's config header.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Engine circuits timed by the ``engine:*`` scenarios.
+_ENGINE_CIRCUITS = ("lif_gw", "lif_tr")
+
+
+@register_result_type
+@dataclass(frozen=True)
+class BenchRecord:
+    """One timed bench scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario key, e.g. ``"engine:lif_tr"`` or ``"sharded:arena"``.
+    suite:
+        Graph suite the scenario ran on.
+    wall_seconds:
+        Wall time of the optimised path (engine / sharded).
+    baseline_seconds:
+        Wall time of the reference path (sequential / monolithic).
+    speedup:
+        Reference time ÷ optimised time (computed per read-out for the
+        engine scenarios, i.e. engine throughput ÷ sequential throughput);
+        > 1 always means the optimised path wins.
+    detail:
+        Scenario extras: graph name, trial/sample budget, throughputs,
+        agreement checks.
+    """
+
+    scenario: str
+    suite: str
+    wall_seconds: float
+    baseline_seconds: float
+    speedup: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
+    """The scenario keys of one bench run (also its shard units)."""
+    scenarios = [(f"engine:{circuit}",) for circuit in _ENGINE_CIRCUITS]
+    scenarios.append(("sharded:arena",))
+    return scenarios
+
+
+def _bench_graph(spec: WorkloadSpec):
+    """The largest graph of the bench suite (engine gains grow with n)."""
+    from repro.workloads.executor import build_spec_graphs
+
+    # The executor's cached builder, so repeated scenarios (and sharded
+    # bench runs) don't regenerate the suite once per scenario.
+    return max(build_spec_graphs(spec), key=lambda g: g.n_vertices)
+
+
+def _run_engine_scenario(spec: WorkloadSpec, circuit: str) -> Dict[str, Any]:
+    from repro.circuits.lif_gw import LIFGWCircuit
+    from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+
+    graph = _bench_graph(spec)
+    n_trials = spec.budget.n_trials
+    n_samples = spec.budget.n_samples
+    seed = spec.seed
+    # Build the circuit once (the LIF-GW SDP solve is the offline stage), so
+    # both timings measure the simulation itself.
+    if circuit == "lif_gw":
+        instance = LIFGWCircuit(graph, seed=seed)
+    else:
+        instance = LIFTrevisanCircuit(graph)
+    common = dict(
+        circuit=instance, graph=None, n_trials=n_trials,
+        n_samples=n_samples, seed=seed,
+    )
+    engine = run_circuit_trials(backend=spec.policy.backend, **common)
+    reference = run_circuit_trials(use_engine=False, **common)
+    # Per-read-out throughput ratio, robust to early-stop truncation.
+    speedup = (
+        engine.samples_per_second / reference.samples_per_second
+        if reference.samples_per_second > 0 else float("inf")
+    )
+    agree = bool(
+        engine.n_rounds == reference.n_rounds
+        and np.array_equal(engine.trial_best_weights, reference.trial_best_weights)
+    )
+    return {
+        "scenario": f"engine:{circuit}",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(engine.elapsed_seconds),
+        "baseline_seconds": float(reference.elapsed_seconds),
+        "speedup": float(speedup),
+        "detail": {
+            "graph": graph.name,
+            "n_vertices": int(graph.n_vertices),
+            "n_trials": int(n_trials),
+            "n_samples": int(n_samples),
+            "backend": engine.backend_name,
+            "engine_samples_per_second": float(engine.samples_per_second),
+            "sequential_samples_per_second": float(reference.samples_per_second),
+            "results_match": agree,
+        },
+    }
+
+
+def _arena_subspec(spec: WorkloadSpec) -> WorkloadSpec:
+    params = dict(spec.params)
+    return WorkloadSpec(
+        workload="arena",
+        graphs=spec.graphs,
+        solvers=tuple(params.get("solvers", ("lif_tr", "random"))),
+        budget=Budget(n_trials=spec.budget.n_trials, n_samples=spec.budget.n_samples),
+        policy=ExecutionPolicy(mode="auto", backend=spec.policy.backend),
+        seed=spec.seed,
+        params={},
+    )
+
+
+def _run_sharded_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.distrib import run_sharded
+    from repro.workloads.executor import execute_spec
+
+    from repro.workloads.executor import build_spec_graphs
+
+    sub = _arena_subspec(spec)
+    # "arena_shards", not "shards": the latter is the reserved run_workload /
+    # CLI keyword selecting the distrib split of the bench run itself.
+    n_shards = int(dict(spec.params).get("arena_shards", 2))
+    # Pre-warm the graph cache so both timed sections see the same state —
+    # otherwise the monolithic run pays the suite build cold while the
+    # sharded run hits the cache it populated, inflating the ratio.
+    build_spec_graphs(sub)
+    started = time.perf_counter()
+    mono = execute_spec(sub)
+    mono_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    sharded = run_sharded(sub, n_shards)
+    sharded_elapsed = time.perf_counter() - started
+    mono_best = {(e.graph_name, e.solver): e.best_weight for e in mono.entries}
+    sharded_best = {
+        (e.graph_name, e.solver): e.best_weight for e in sharded.records
+    }
+    return {
+        "scenario": "sharded:arena",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(sharded_elapsed),
+        "baseline_seconds": float(mono_elapsed),
+        "speedup": float(mono_elapsed / sharded_elapsed) if sharded_elapsed > 0
+                   else float("inf"),
+        "detail": {
+            "n_shards": n_shards,
+            "solvers": list(sub.solvers),
+            "n_trials": int(sub.budget.n_trials),
+            "n_samples": int(sub.budget.n_samples),
+            "n_cells": len(mono.entries),
+            "results_match": mono_best == sharded_best,
+        },
+    }
+
+
+def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
+    """Run one bench scenario and return its JSON-safe measurement payload."""
+    if scenario.startswith("engine:"):
+        return _run_engine_scenario(spec, scenario.split(":", 1)[1])
+    if scenario == "sharded:arena":
+        return _run_sharded_scenario(spec)
+    raise ValidationError(f"unknown bench scenario {scenario!r}")
+
+
+def _record_from_payload(payload: Dict[str, Any]) -> BenchRecord:
+    return BenchRecord(
+        scenario=str(payload["scenario"]),
+        suite=str(payload["suite"]),
+        wall_seconds=float(payload["wall_seconds"]),
+        baseline_seconds=float(payload["baseline_seconds"]),
+        speedup=float(payload["speedup"]),
+        detail=dict(payload["detail"]),
+    )
+
+
+def bench_outcome(records: Sequence[BenchRecord], spec: WorkloadSpec) -> WorkloadOutcome:
+    """Wrap bench records into the uniform outcome (shared with shard merges)."""
+    leaderboard = sorted(
+        (
+            {
+                "solver": record.scenario,
+                "score": float(record.speedup),
+                "metric": "speedup (reference / optimised)",
+            }
+            for record in records
+        ),
+        key=lambda row: -row["score"],
+    )
+    return WorkloadOutcome(
+        records=list(records),
+        leaderboard=leaderboard,
+        metadata={
+            "schema": BENCH_SCHEMA,
+            "suite": spec.graphs.label,
+            "n_trials": spec.budget.n_trials,
+            "n_samples": spec.budget.n_samples,
+            "scenarios": [record.scenario for record in records],
+        },
+    )
+
+
+def _bench_spec(params: Dict[str, Any]) -> WorkloadSpec:
+    return WorkloadSpec(
+        workload="bench",
+        graphs=GraphSource.coerce(params["suite"]),
+        solvers=tuple(params["solvers"]),
+        budget=Budget(
+            n_trials=int(params["trials"]), n_samples=int(params["samples"])
+        ),
+        policy=ExecutionPolicy(mode="auto", backend=params["backend"]),
+        seed=params["seed"],
+        params={**params, "suite": GraphSource.coerce(params["suite"]).label},
+    )
+
+
+def _bench_execute(spec: WorkloadSpec) -> WorkloadOutcome:
+    records = [
+        _record_from_payload(run_bench_scenario(spec, scenario))
+        for (scenario,) in bench_scenarios(spec)
+    ]
+    return bench_outcome(records, spec)
+
+
+def _format_bench(report: RunReport) -> str:
+    from repro.experiments.reporting import format_table
+
+    rows = [
+        [
+            record.scenario,
+            f"{record.speedup:.2f}x",
+            f"{record.baseline_seconds:.3f}",
+            f"{record.wall_seconds:.3f}",
+            "yes" if record.detail.get("results_match") else "NO",
+        ]
+        for record in report.records
+    ]
+    return format_table(
+        ["scenario", "speedup", "reference s", "optimised s", "results match"],
+        rows,
+    )
+
+
+def _plot_bench(report: RunReport) -> str:
+    from repro.plotting.ascii import ascii_bar_chart
+
+    return ascii_bar_chart(
+        [row["solver"] for row in report.leaderboard],
+        [max(0.0, float(row["score"])) for row in report.leaderboard],
+        title="bench speedups (reference / optimised)",
+        value_format="{:.2f}x",
+    )
+
+
+register_workload(Workload(
+    name="bench",
+    summary="time engine-vs-sequential and sharded-vs-monolithic (perf gate)",
+    defaults={
+        "suite": "er-small", "trials": 16, "samples": 128,
+        "solvers": ("lif_tr", "random"), "backend": "auto", "arena_shards": 2,
+    },
+    build_spec=_bench_spec,
+    execute=_bench_execute,
+    formatter=_format_bench,
+    plotter=_plot_bench,
+))
+
+
+# -- baseline gate ----------------------------------------------------------
+
+
+def load_baseline(path) -> Dict[str, Any]:
+    """Load and validate a bench tolerance baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if not isinstance(baseline, dict) or "min_speedup" not in baseline:
+        raise ValidationError(
+            f"baseline file {path!r} must be an object with a 'min_speedup' map"
+        )
+    return baseline
+
+
+def check_baseline(report: RunReport, baseline: Dict[str, Any]) -> List[str]:
+    """Compare a bench report against a tolerance baseline.
+
+    Returns a list of human-readable violations (empty = gate passes).
+    Scenarios in the baseline but absent from the report are violations too —
+    a silently dropped benchmark must not pass the gate.  A scenario whose
+    optimised/reference results diverged fails regardless of speed.
+    """
+    failures: List[str] = []
+    by_scenario = {record.scenario: record for record in report.records}
+    for scenario, floor in dict(baseline.get("min_speedup", {})).items():
+        record = by_scenario.get(scenario)
+        if record is None:
+            failures.append(f"{scenario}: missing from bench report")
+            continue
+        if record.speedup < float(floor):
+            failures.append(
+                f"{scenario}: speedup {record.speedup:.2f}x below the "
+                f"baseline floor {float(floor):.2f}x"
+            )
+    for record in report.records:
+        if record.detail.get("results_match") is False:
+            failures.append(
+                f"{record.scenario}: optimised and reference paths disagree"
+            )
+    return failures

@@ -19,13 +19,29 @@ in the arena's vocabulary — :class:`repro.arena.results.ArenaEntry` records
 wrapped in an :class:`repro.arena.results.ArenaResult` — because "race these
 solvers on these graphs under this budget" *is* the arena, whatever workload
 asked for it.
+
+Shardable units
+---------------
+Execution is decomposed into *units*: ``(graph_index, solver_key, trial_lo,
+trial_hi)`` tuples enumerated by :func:`cell_units`, each executed
+independently by :func:`run_cell_units` into a JSON-safe payload, and folded
+back into :class:`ArenaEntry` records by :func:`entries_from_payloads`.
+:func:`execute_spec` is simply "all units, in process, merged immediately";
+the sharded executor (:mod:`repro.distrib`) runs the same units across
+checkpointed shards and merges through the same fold, which is why a merged
+sharded run reproduces a monolithic run record for record (modulo timing).
+Because every unit derives its randomness from the paired ``(g, i)`` seeds,
+the decomposition never changes results.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
 import time
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,12 +51,22 @@ from repro.arena.results import ArenaEntry, ArenaResult
 from repro.engine.sampler import trial_seed_sequences
 from repro.experiments import runner as _runner
 from repro.graphs.graph import Graph
+from repro.parallel.partition import partition_work
 from repro.parallel.pool import ParallelConfig, parallel_map
 from repro.utils.rng import paired_seed
 from repro.utils.validation import ValidationError
 from repro.workloads.spec import Budget, WorkloadSpec
 
-__all__ = ["execute_spec"]
+__all__ = [
+    "execute_spec",
+    "cell_units",
+    "run_cell_units",
+    "entries_from_payloads",
+    "build_spec_graphs",
+]
+
+#: A unit key: (graph_index, solver_key, trial_lo, trial_hi).
+CellUnit = Tuple[int, str, int, int]
 
 
 def _sequential_trial(task: tuple) -> float:
@@ -56,48 +82,167 @@ def _sequential_trial(task: tuple) -> float:
     return float(cut.weight)
 
 
-def _run_engine_cell(
-    spec: SolverSpec,
+#: Small LRU of materialised graph lists, keyed by (source description,
+#: seed) with the originating GraphSuite object stored alongside for an
+#: identity check on lookup.  Graph sources are pure functions of the seed,
+#: so reuse is safe; it spares an in-process sharded run (plan + one build
+#: per shard) from rebuilding / reloading the same suite once per shard.
+#: Explicit in-memory sources are never cached (their to_dict records names
+#: only, which could collide).
+_GRAPH_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_GRAPH_CACHE_SIZE = 8
+
+
+def _graph_cache_suite(spec: WorkloadSpec):
+    """The registered GraphSuite object behind a suite source (else None)."""
+    if spec.graphs.kind != "suite":
+        return None
+    suite = spec.graphs.suite
+    if isinstance(suite, str):
+        from repro.arena.suite import SUITES
+
+        suite = SUITES.get(suite)
+    return suite
+
+
+def build_spec_graphs(spec: WorkloadSpec) -> List[Graph]:
+    """Materialise the spec's graphs and enforce unique names.
+
+    Entries, ratios, and report tables are all keyed by graph name;
+    duplicates would silently merge distinct graphs' results.
+    """
+    cache_key = None
+    if spec.graphs.kind != "explicit":
+        cache_key = (json.dumps(spec.graphs.to_dict(), sort_keys=True), spec.seed)
+        cached = _GRAPH_CACHE.get(cache_key)
+        if cached is not None:
+            cached_suite, cached_graphs = cached
+            # Identity check (not id()): the entry holds a strong reference
+            # to the suite object it was built from, so a suite re-registered
+            # under the same key (register_suite(..., overwrite=True)) can
+            # never be served the replaced builder's graphs.
+            if cached_suite is _graph_cache_suite(spec):
+                _GRAPH_CACHE.move_to_end(cache_key)
+                return list(cached_graphs)
+    graphs = spec.graphs.build(spec.seed)
+    names = [graph.name for graph in graphs]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValidationError(
+            f"suite graphs must have unique names; duplicated: {duplicates} "
+            f"(pass name=... to the generators)"
+        )
+    if cache_key is not None:
+        _GRAPH_CACHE[cache_key] = (_graph_cache_suite(spec), list(graphs))
+        while len(_GRAPH_CACHE) > _GRAPH_CACHE_SIZE:
+            _GRAPH_CACHE.popitem(last=False)
+    return graphs
+
+
+def _check_resolved_seed(spec: WorkloadSpec) -> int:
+    if spec.seed is None:
+        raise ValidationError(
+            "the executor needs a resolved integer seed; run specs through a "
+            "Session (which draws fresh entropy for seed=None)"
+        )
+    return int(spec.seed)
+
+
+def cell_units(
+    spec: WorkloadSpec,
+    n_shards: int = 1,
+    graphs: Optional[Sequence[Graph]] = None,
+) -> List[CellUnit]:
+    """Enumerate the spec's execution units for an *n_shards*-way split.
+
+    One unit per (graph, solver) cell by default.  When the spec has fewer
+    cells than requested shards, *stochastic* cells are additionally split
+    into contiguous trial ranges (via
+    :func:`repro.parallel.partition.partition_work`) so work spreads over the
+    shards; trial *i* keeps its paired ``(g, i)`` seed, so the split never
+    changes results.  The split factor is computed from the stochastic cell
+    count alone — deterministic solvers (always exactly one trial) cannot
+    absorb extra shards.  Cells are never trial-split when the budget
+    carries a wall-clock cap (``max_seconds`` is a per-cell serial
+    semantic).
+    """
+    _check_resolved_seed(spec)
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    solver_specs = spec.resolve_solvers()
+    if graphs is None:
+        graphs = build_spec_graphs(spec)
+    budget = spec.budget
+    n_cells = len(graphs) * len(solver_specs)
+    n_stochastic = len(graphs) * sum(1 for s in solver_specs if not s.deterministic)
+    split = 1
+    if n_stochastic and n_shards > n_cells and budget.max_seconds is None:
+        # Only stochastic cells can split, so they alone must cover the
+        # shard deficit left after every cell (deterministic ones included)
+        # has taken its single unit.
+        split = min(
+            budget.n_trials,
+            math.ceil((n_shards - (n_cells - n_stochastic)) / n_stochastic),
+        )
+    units: List[CellUnit] = []
+    for g in range(len(graphs)):
+        for solver in solver_specs:
+            n_trials = 1 if solver.deterministic else budget.n_trials
+            blocks = 1 if solver.deterministic else split
+            for lo, hi in partition_work(n_trials, blocks):
+                if hi > lo:
+                    units.append((g, solver.key, lo, hi))
+    return units
+
+
+def _solver_by_key(spec: WorkloadSpec) -> Dict[str, SolverSpec]:
+    return {s.key: s for s in spec.resolve_solvers()}
+
+
+def _run_engine_unit(
+    solver: SolverSpec,
     graph: Graph,
     budget: Budget,
     root: np.random.SeedSequence,
     backend: str,
-) -> Tuple[float, float, int, int, dict]:
-    """Run one batchable cell through the engine; returns core measurements."""
+    trial_lo: int,
+    trial_hi: int,
+) -> Tuple[List[float], int, dict]:
+    """Run one batchable unit through the engine; returns (weights, samples, meta)."""
     result = _runner.run_circuit_trials(
         graph=graph,
-        circuit=spec.circuit,
-        n_trials=budget.n_trials,
+        circuit=solver.circuit,
+        n_trials=trial_hi - trial_lo,
         n_samples=budget.n_samples,
         seed=root,
         backend=backend,
+        trial_offset=trial_lo,
     )
-    weights = np.asarray(result.trial_best_weights, dtype=float)
     metadata = {
         "engine_elapsed_seconds": float(result.elapsed_seconds),
         "engine_backend": result.backend_name,
         "n_rounds": int(result.n_rounds),
         "early_stopped": bool(result.early_stopped),
-        "trial_weights": weights.tolist(),
     }
-    best = float(weights.max()) if weights.size else 0.0
-    mean = float(weights.mean()) if weights.size else 0.0
-    return best, mean, int(result.n_trials), int(result.n_rounds), metadata
+    weights = [float(w) for w in np.asarray(result.trial_best_weights, dtype=float)]
+    return weights, int(result.n_rounds), metadata
 
 
-def _run_sequential_cell(
-    spec: SolverSpec,
+def _run_sequential_unit(
+    solver: SolverSpec,
     graph: Graph,
     budget: Budget,
     root: np.random.SeedSequence,
     parallel: Optional[ParallelConfig],
-) -> Tuple[float, float, int, int, dict]:
-    """Run one non-batchable cell: 1 trial if deterministic, else the budget."""
-    n_trials = 1 if spec.deterministic else budget.n_trials
+    trial_lo: int,
+    trial_hi: int,
+) -> Tuple[List[float], int, dict]:
+    """Run one non-batchable unit: its trial range through the per-trial path."""
+    n_trials = trial_hi - trial_lo
     # The engine's own derivation, so the two paths stay paired by
     # construction rather than by parallel re-implementation.
-    seeds = trial_seed_sequences(root, n_trials)
-    tasks = [(spec.fn, graph, budget.n_samples, s) for s in seeds]
+    seeds = trial_seed_sequences(root, n_trials, start=trial_lo)
+    tasks = [(solver.fn, graph, budget.n_samples, s) for s in seeds]
     metadata: dict = {}
     if budget.max_seconds is not None and n_trials > 1:
         # A wall-clock cap needs a serial loop with a clock check between
@@ -110,93 +255,157 @@ def _run_sequential_cell(
                 break
         if len(weights) < n_trials:
             metadata["budget_truncated"] = True
-        n_trials = len(weights)
     else:
         weights = parallel_map(_sequential_trial, tasks, config=parallel)
-    arr = np.asarray(weights, dtype=float)
-    metadata["trial_weights"] = arr.tolist()
-    return float(arr.max()), float(arr.mean()), n_trials, budget.n_samples, metadata
+    return [float(w) for w in weights], budget.n_samples, metadata
 
 
-def execute_spec(spec: WorkloadSpec) -> ArenaResult:
-    """Execute *spec* generically and return the arena-shaped result.
+def run_cell_units(
+    spec: WorkloadSpec,
+    units: Sequence[CellUnit],
+    graphs: Optional[Sequence[Graph]] = None,
+) -> List[dict]:
+    """Execute *units* of *spec* and return one JSON-safe payload per unit.
 
-    The spec's seed must already be resolved (an integer —
-    :class:`repro.workloads.Session` draws fresh entropy for ``None`` seeds
-    before execution so the run is recorded reproducibly).
+    Payload schema (all values JSON-safe)::
+
+        {"graph_index": int, "solver": str, "trial_lo": int, "trial_hi": int,
+         "graph_name": str, "n_vertices": int, "n_edges": int,
+         "total_weight": float,
+         "weights": [float, ...],        # per-trial best cut weights
+         "n_samples_run": int,           # read-outs per trial actually run
+         "elapsed_seconds": float,
+         "used_engine": bool,
+         "metadata": {...}}              # engine backend/rounds, truncation
     """
-    solver_specs = spec.resolve_solvers()
-    seed = spec.seed
-    if seed is None:
-        raise ValidationError(
-            "execute_spec needs a resolved integer seed; run specs through a "
-            "Session (which draws fresh entropy for seed=None)"
-        )
+    seed = _check_resolved_seed(spec)
+    if graphs is None:
+        graphs = build_spec_graphs(spec)
+    by_key = _solver_by_key(spec)
     budget = spec.budget
     policy = spec.policy
     parallel = policy.parallel_config()
 
-    graphs = spec.graphs.build(seed)
-    names = [graph.name for graph in graphs]
-    if len(set(names)) != len(names):
-        # Entries, ratios, and report tables are all keyed by graph name;
-        # duplicates would silently merge distinct graphs' results.
-        duplicates = sorted({n for n in names if names.count(n) > 1})
-        raise ValidationError(
-            f"suite graphs must have unique names; duplicated: {duplicates} "
-            f"(pass name=... to the generators)"
-        )
-
-    started = time.perf_counter()
-    entries: List[ArenaEntry] = []
-    for g, graph in enumerate(graphs):
-        # Root of suite graph g; trials are its spawn children (g, i).
+    payloads: List[dict] = []
+    for unit in units:
+        g, key, lo, hi = unit
+        if not (0 <= g < len(graphs)):
+            raise ValidationError(
+                f"unit graph index {g} out of range for {len(graphs)} graph(s)"
+            )
+        if key not in by_key:
+            raise ValidationError(f"unit names unknown solver {key!r}")
+        graph = graphs[g]
+        solver = by_key[key]
+        # Root of suite graph g, created fresh per unit so SeedSequence spawn
+        # state never leaks between units; trials are its (g, i) children.
         root = paired_seed(seed, g)
-        for solver_spec in solver_specs:
-            cell_started = time.perf_counter()
-            on_engine = bool(policy.use_engine and solver_spec.batchable)
-            if on_engine:
-                best, mean, trials_run, samples_run, metadata = _run_engine_cell(
-                    solver_spec, graph, budget, root, policy.backend
-                )
-            else:
-                best, mean, trials_run, samples_run, metadata = _run_sequential_cell(
-                    solver_spec, graph, budget, root, parallel
-                )
-            elapsed = time.perf_counter() - cell_started
-            if budget.max_seconds is not None and elapsed > budget.max_seconds:
-                metadata.setdefault("budget_overrun_seconds",
-                                    float(elapsed - budget.max_seconds))
-            if solver_spec.budget == "ignored":
-                samples_run = 0
-            total_samples = trials_run * samples_run
-            entries.append(ArenaEntry(
-                solver=solver_spec.key,
-                graph_name=graph.name,
-                n_vertices=graph.n_vertices,
-                n_edges=graph.n_edges,
-                total_weight=float(graph.total_weight),
-                best_weight=best,
-                mean_weight=mean,
-                cut_ratio=0.0,  # filled below once the per-graph best is known
-                n_trials=trials_run,
-                n_samples=samples_run,
-                elapsed_seconds=float(elapsed),
-                samples_per_second=(total_samples / elapsed) if elapsed > 0 and total_samples
-                                   else 0.0,
-                used_engine=on_engine,
-                backend=metadata.get("engine_backend", ""),
-                deterministic=solver_spec.deterministic,
-                budget_semantics=solver_spec.budget,
-                metadata=metadata,
-            ))
+        started = time.perf_counter()
+        on_engine = bool(policy.use_engine and solver.batchable)
+        if on_engine:
+            weights, samples_run, metadata = _run_engine_unit(
+                solver, graph, budget, root, policy.backend, lo, hi
+            )
+        else:
+            weights, samples_run, metadata = _run_sequential_unit(
+                solver, graph, budget, root, parallel, lo, hi
+            )
+        elapsed = time.perf_counter() - started
+        if budget.max_seconds is not None and elapsed > budget.max_seconds:
+            metadata.setdefault(
+                "budget_overrun_seconds", float(elapsed - budget.max_seconds)
+            )
+        payloads.append({
+            "graph_index": int(g),
+            "solver": key,
+            "trial_lo": int(lo),
+            "trial_hi": int(hi),
+            "graph_name": graph.name,
+            "n_vertices": int(graph.n_vertices),
+            "n_edges": int(graph.n_edges),
+            "total_weight": float(graph.total_weight),
+            "weights": weights,
+            "n_samples_run": int(samples_run),
+            "elapsed_seconds": float(elapsed),
+            "used_engine": on_engine,
+            "metadata": metadata,
+        })
+    return payloads
+
+
+def entries_from_payloads(
+    spec: WorkloadSpec, payloads: Sequence[dict]
+) -> List[ArenaEntry]:
+    """Fold unit payloads into :class:`ArenaEntry` records (canonical order).
+
+    Payloads belonging to the same (graph, solver) cell — a cell that was
+    trial-split across shards — are merged in trial order: per-trial weights
+    concatenate, timings sum, and best/mean are recomputed over the full
+    trial set, which reproduces the unsplit cell's values exactly.
+    Arena-relative cut ratios are computed *after* the fold, over every cell,
+    exactly as the monolithic executor does.
+    """
+    solver_specs = spec.resolve_solvers()
+    by_key = {s.key: s for s in solver_specs}
+    cells: Dict[Tuple[int, str], List[dict]] = {}
+    for payload in payloads:
+        cells.setdefault(
+            (int(payload["graph_index"]), str(payload["solver"])), []
+        ).append(payload)
+
+    entries: List[ArenaEntry] = []
+    # Canonical order: graph index, then the spec's solver order.
+    solver_order = {s.key: i for i, s in enumerate(solver_specs)}
+    for (g, key) in sorted(cells, key=lambda c: (c[0], solver_order.get(c[1], 0))):
+        blocks = sorted(cells[(g, key)], key=lambda p: p["trial_lo"])
+        solver = by_key.get(key)
+        if solver is None:
+            raise ValidationError(f"payload names unknown solver {key!r}")
+        weights = np.asarray(
+            [w for block in blocks for w in block["weights"]], dtype=float
+        )
+        if weights.size == 0:
+            continue
+        elapsed = float(sum(block["elapsed_seconds"] for block in blocks))
+        samples_run = max(int(block["n_samples_run"]) for block in blocks)
+        used_engine = all(bool(block["used_engine"]) for block in blocks)
+        if len(blocks) == 1:
+            metadata = dict(blocks[0]["metadata"])
+        else:
+            metadata = _merge_block_metadata(blocks)
+        metadata["trial_weights"] = weights.tolist()
+        if solver.budget == "ignored":
+            samples_run = 0
+        trials_run = int(weights.size)
+        total_samples = trials_run * samples_run
+        first = blocks[0]
+        entries.append(ArenaEntry(
+            solver=key,
+            graph_name=str(first["graph_name"]),
+            n_vertices=int(first["n_vertices"]),
+            n_edges=int(first["n_edges"]),
+            total_weight=float(first["total_weight"]),
+            best_weight=float(weights.max()),
+            mean_weight=float(weights.mean()),
+            cut_ratio=0.0,  # filled below once the per-graph best is known
+            n_trials=trials_run,
+            n_samples=samples_run,
+            elapsed_seconds=elapsed,
+            samples_per_second=(total_samples / elapsed) if elapsed > 0 and total_samples
+                               else 0.0,
+            used_engine=used_engine,
+            backend=metadata.get("engine_backend", ""),
+            deterministic=solver.deterministic,
+            budget_semantics=solver.budget,
+            metadata=metadata,
+        ))
 
     # Arena-relative ratios: per graph, the best weight any solver found.
-    best_by_graph = {}
+    best_by_graph: Dict[str, float] = {}
     for entry in entries:
         current = best_by_graph.get(entry.graph_name, 0.0)
         best_by_graph[entry.graph_name] = max(current, entry.best_weight)
-    entries = [
+    return [
         dataclasses.replace(
             entry,
             cut_ratio=relative_cut_weight(entry.best_weight, best_by_graph[entry.graph_name]),
@@ -204,13 +413,62 @@ def execute_spec(spec: WorkloadSpec) -> ArenaResult:
         for entry in entries
     ]
 
+
+def _merge_block_metadata(blocks: Sequence[dict]) -> dict:
+    """Combine trial-block metadata for one cell (timings sum, flags union)."""
+    merged: dict = {}
+    for block in blocks:
+        for key, value in dict(block["metadata"]).items():
+            if key in ("engine_elapsed_seconds", "budget_overrun_seconds"):
+                merged[key] = merged.get(key, 0.0) + float(value)
+            elif key == "n_rounds":
+                merged[key] = max(int(merged.get(key, 0)), int(value))
+            elif key in ("early_stopped", "budget_truncated"):
+                merged[key] = bool(merged.get(key, False)) or bool(value)
+            else:
+                merged.setdefault(key, value)
+    merged["n_unit_blocks"] = len(blocks)
+    return merged
+
+
+def result_from_entries(
+    spec: WorkloadSpec,
+    graph_names: Sequence[str],
+    entries: Sequence[ArenaEntry],
+    elapsed_seconds: float,
+) -> ArenaResult:
+    """Wrap folded entries into the arena-shaped result for *spec*."""
     return ArenaResult(
         suite=spec.graphs.label,
-        solvers=tuple(s.key for s in solver_specs),
-        graph_names=tuple(graph.name for graph in graphs),
-        n_trials=budget.n_trials,
-        n_samples=budget.n_samples,
-        seed=seed,
-        entries=entries,
-        elapsed_seconds=float(time.perf_counter() - started),
+        solvers=tuple(s.key for s in spec.resolve_solvers()),
+        graph_names=tuple(graph_names),
+        n_trials=spec.budget.n_trials,
+        n_samples=spec.budget.n_samples,
+        seed=spec.seed,
+        entries=list(entries),
+        elapsed_seconds=float(elapsed_seconds),
+    )
+
+
+def execute_spec(spec: WorkloadSpec) -> ArenaResult:
+    """Execute *spec* generically and return the arena-shaped result.
+
+    The spec's seed must already be resolved (an integer —
+    :class:`repro.workloads.Session` draws fresh entropy for ``None`` seeds
+    before execution so the run is recorded reproducibly).  Equivalent to
+    running every :func:`cell_units` unit and folding with
+    :func:`entries_from_payloads` — the exact pipeline the sharded executor
+    distributes.
+    """
+    _check_resolved_seed(spec)
+    graphs = build_spec_graphs(spec)
+    started = time.perf_counter()
+    units = cell_units(spec, n_shards=1, graphs=graphs)
+    payloads = run_cell_units(spec, units, graphs=graphs)
+    entries = entries_from_payloads(spec, payloads)
+    return result_from_entries(
+        spec,
+        [graph.name for graph in graphs],
+        entries,
+        time.perf_counter() - started,
     )

@@ -51,7 +51,14 @@ from repro.workloads.spec import (
     WorkloadSpec,
 )
 
-__all__ = ["arena_result_from_report", "ABLATION_KINDS"]
+__all__ = [
+    "arena_result_from_report",
+    "ABLATION_KINDS",
+    "figure3_outcome",
+    "figure4_outcome",
+    "table1_outcome",
+    "ablation_outcome",
+]
 
 #: Ablation sweep kinds accepted by the ``ablation`` workload.
 ABLATION_KINDS = ("devices", "rank", "learning-rate")
@@ -110,11 +117,8 @@ def _figure3_spec(params: Dict[str, Any]) -> WorkloadSpec:
     )
 
 
-def _figure3_execute(spec: WorkloadSpec) -> WorkloadOutcome:
-    # spec.seed, not params["seed"]: the session resolves None seeds to drawn
-    # entropy on spec.seed, and execution must follow that resolution.
-    config = _figure3_config(dict(spec.params), spec.seed)
-    cells = run_figure3(config=config, parallel=spec.policy.parallel_config())
+def figure3_outcome(cells, config: Figure3Config) -> WorkloadOutcome:
+    """Wrap Figure 3 cells into the uniform outcome (shared with shard merges)."""
     leaderboard = _ranked([
         {
             "solver": method,
@@ -124,10 +128,18 @@ def _figure3_execute(spec: WorkloadSpec) -> WorkloadOutcome:
         for method in METHODS
     ])
     return WorkloadOutcome(
-        records=cells,
+        records=list(cells),
         leaderboard=leaderboard,
         metadata={"config": config.to_dict()},
     )
+
+
+def _figure3_execute(spec: WorkloadSpec) -> WorkloadOutcome:
+    # spec.seed, not params["seed"]: the session resolves None seeds to drawn
+    # entropy on spec.seed, and execution must follow that resolution.
+    config = _figure3_config(dict(spec.params), spec.seed)
+    cells = run_figure3(config=config, parallel=spec.policy.parallel_config())
+    return figure3_outcome(cells, config)
 
 
 # -- figure4 ----------------------------------------------------------------
@@ -145,10 +157,8 @@ def _figure4_spec(params: Dict[str, Any]) -> WorkloadSpec:
     )
 
 
-def _figure4_execute(spec: WorkloadSpec) -> WorkloadOutcome:
-    params = dict(spec.params)
-    config = Figure4Config(n_samples=int(params["samples"]), seed=spec.seed)
-    panels = run_figure4(list(params["graphs"]) or None, config=config)
+def figure4_outcome(panels, config: Figure4Config) -> WorkloadOutcome:
+    """Wrap Figure 4 panels into the uniform outcome (shared with shard merges)."""
     leaderboard = _ranked([
         {
             "solver": method,
@@ -162,10 +172,17 @@ def _figure4_execute(spec: WorkloadSpec) -> WorkloadOutcome:
         for method in ("lif_gw", "lif_tr", "solver", "random")
     ])
     return WorkloadOutcome(
-        records=panels,
+        records=list(panels),
         leaderboard=leaderboard,
         metadata={"config": config.to_dict()},
     )
+
+
+def _figure4_execute(spec: WorkloadSpec) -> WorkloadOutcome:
+    params = dict(spec.params)
+    config = Figure4Config(n_samples=int(params["samples"]), seed=spec.seed)
+    panels = run_figure4(list(params["graphs"]) or None, config=config)
+    return figure4_outcome(panels, config)
 
 
 # -- table1 -----------------------------------------------------------------
@@ -183,10 +200,8 @@ def _table1_spec(params: Dict[str, Any]) -> WorkloadSpec:
     )
 
 
-def _table1_execute(spec: WorkloadSpec) -> WorkloadOutcome:
-    params = dict(spec.params)
-    config = Table1Config(n_samples=int(params["samples"]), seed=spec.seed)
-    rows = run_table1(list(params["graphs"]) or None, config=config)
+def table1_outcome(rows, config: Table1Config) -> WorkloadOutcome:
+    """Wrap Table I rows into the uniform outcome (shared with shard merges)."""
     methods = ("lif_gw", "lif_tr", "solver", "random")
     leaderboard = _ranked([
         {
@@ -200,10 +215,17 @@ def _table1_execute(spec: WorkloadSpec) -> WorkloadOutcome:
         for method in methods
     ])
     return WorkloadOutcome(
-        records=rows,
+        records=list(rows),
         leaderboard=leaderboard,
         metadata={"config": config.to_dict()},
     )
+
+
+def _table1_execute(spec: WorkloadSpec) -> WorkloadOutcome:
+    params = dict(spec.params)
+    config = Table1Config(n_samples=int(params["samples"]), seed=spec.seed)
+    rows = run_table1(list(params["graphs"]) or None, config=config)
+    return table1_outcome(rows, config)
 
 
 # -- ablation ---------------------------------------------------------------
@@ -255,6 +277,11 @@ def _ablation_execute(spec: WorkloadSpec) -> WorkloadOutcome:
         points = run_rank_ablation(config=config)
     else:
         points = run_learning_rate_ablation(config=config)
+    return ablation_outcome(points, config, kind)
+
+
+def ablation_outcome(points, config: AblationConfig, kind: str) -> WorkloadOutcome:
+    """Wrap ablation points into the uniform outcome (shared with shard merges)."""
     leaderboard = _ranked([
         {
             "solver": point.setting,
@@ -264,7 +291,7 @@ def _ablation_execute(spec: WorkloadSpec) -> WorkloadOutcome:
         for point in points
     ])
     return WorkloadOutcome(
-        records=points,
+        records=list(points),
         leaderboard=leaderboard,
         metadata={"config": config.to_dict(), "kind": kind},
     )

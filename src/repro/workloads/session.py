@@ -161,16 +161,48 @@ class Session:
             steps=tuple(steps),
         )
 
-    def run(self) -> RunReport:
-        """Validate, execute, and wrap the outcome in a :class:`RunReport`."""
+    def run(
+        self,
+        shards: int = 1,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+    ) -> RunReport:
+        """Validate, execute, and wrap the outcome in a :class:`RunReport`.
+
+        Parameters
+        ----------
+        shards:
+            Split the run into this many independently executed,
+            checkpointable shards (:mod:`repro.distrib`).  Shard boundaries
+            never change results: the merged report's records and leaderboard
+            equal the monolithic run's (modulo timing metadata).
+        checkpoint_dir:
+            Directory for the shard manifest + per-shard atomic checkpoint
+            files; any value other than ``None`` switches to the sharded
+            path even for ``shards=1``.
+        resume:
+            Skip shards already completed in *checkpoint_dir* (requires it) —
+            the crash-recovery path: rerun the same command after a kill and
+            only the missing shards execute.
+        """
         self.validate()
         from repro import __version__
 
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ValidationError(f"shards must be an integer >= 1, got {shards!r}")
         started = time.perf_counter()
-        if self.workload is not None and self.workload.execute is not None:
-            outcome = self.workload.execute(self.spec)
+        if shards == 1 and checkpoint_dir is None and not resume:
+            if self.workload is not None and self.workload.execute is not None:
+                outcome = self.workload.execute(self.spec)
+            else:
+                outcome = _generic_outcome(self.spec)
         else:
-            outcome = _generic_outcome(self.spec)
+            from repro.distrib import run_sharded
+
+            outcome = run_sharded(
+                self.spec, shards, workload=self.workload,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+            )
         elapsed = time.perf_counter() - started
         params: Dict[str, Any] = {
             str(k): _config_jsonable(v) for k, v in dict(self.spec.params).items()
@@ -187,9 +219,13 @@ class Session:
         )
 
 
-def _generic_outcome(spec: WorkloadSpec) -> WorkloadOutcome:
-    """Run *spec* through the generic executor, arena-shaped."""
-    result = execute_spec(spec)
+def arena_outcome_from_result(result) -> WorkloadOutcome:
+    """Wrap an :class:`~repro.arena.results.ArenaResult` as a workload outcome.
+
+    Shared by the in-process generic path and the sharded merge
+    (:mod:`repro.distrib`), so both produce identical records and
+    leaderboards from identical entries.
+    """
     leaderboard = [
         {**row, "score": row["mean_ratio"]} for row in result.aggregate()
     ]
@@ -207,16 +243,30 @@ def _generic_outcome(spec: WorkloadSpec) -> WorkloadOutcome:
     )
 
 
-def run_workload(name: str, save: Optional[str] = None, **params: Any) -> RunReport:
+def _generic_outcome(spec: WorkloadSpec) -> WorkloadOutcome:
+    """Run *spec* through the generic executor, arena-shaped."""
+    return arena_outcome_from_result(execute_spec(spec))
+
+
+def run_workload(
+    name: str,
+    save: Optional[str] = None,
+    shards: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    **params: Any,
+) -> RunReport:
     """Run registered workload *name* and return its :class:`RunReport`.
 
     Parameters are the workload's declared defaults (see
     ``get_workload(name).defaults``) plus ``seed``; *save* additionally
     persists the report as JSON through
-    :func:`repro.experiments.runner.save_results`.
+    :func:`repro.experiments.runner.save_results`.  *shards* /
+    *checkpoint_dir* / *resume* select the sharded, resumable execution path
+    (see :meth:`Session.run`).
     """
     session = Session.from_workload(name, **params)
-    report = session.run()
+    report = session.run(shards=shards, checkpoint_dir=checkpoint_dir, resume=resume)
     if save is not None:
         report.save(save)
     return report

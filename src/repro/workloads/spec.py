@@ -136,6 +136,28 @@ class GraphSource(ValidatedConfig):
         return cls(kind="explicit", graphs=tuple(graphs))
 
     @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GraphSource":
+        """Rebuild a source from its :meth:`to_dict` form (manifest round-trip).
+
+        Explicit in-memory graph lists are not persistable — their
+        ``to_dict`` records names only — so they cannot be rebuilt.
+        """
+        kind = data.get("kind")
+        if kind == "suite":
+            return cls.from_suite(str(data["suite"]))
+        if kind == "repository":
+            return cls.repository(tuple(data.get("names", ())))
+        if kind == "generator":
+            return cls.erdos_renyi_grid(
+                data["sizes"], data["probabilities"],
+                per_cell=int(data.get("per_cell", 1)),
+            )
+        raise ValidationError(
+            f"graph source kind {kind!r} cannot be rebuilt from a dict "
+            f"(explicit graph lists are not persistable)"
+        )
+
+    @classmethod
     def coerce(cls, value: Any) -> "GraphSource":
         """Normalise a suite key / ``GraphSuite`` / graph list into a source."""
         if isinstance(value, cls):
@@ -358,6 +380,35 @@ class WorkloadSpec(ValidatedConfig):
     def resolve_solvers(self) -> List[SolverSpec]:
         """Resolve solver names against the registry (dupes after aliasing raise)."""
         return resolve_solver_specs(self.solvers)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild a spec from its :meth:`to_dict` form.
+
+        The inverse used by ``repro merge`` to reconstruct a run from a
+        checkpoint manifest; ``from_dict(spec.to_dict())`` equals ``spec``
+        for every persistable spec (explicit graph lists are not).
+        """
+        try:
+            graphs = GraphSource.from_dict(dict(data["graphs"]))
+            budget = Budget(**dict(data.get("budget", {})))
+            policy = ExecutionPolicy(**dict(data.get("policy", {})))
+            params_raw = dict(data.get("params", {}))
+            params = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in params_raw.items()
+            }
+            return cls(
+                workload=str(data["workload"]),
+                graphs=graphs,
+                solvers=tuple(data.get("solvers", ())),
+                budget=budget,
+                policy=policy,
+                seed=data.get("seed"),
+                params=params,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"cannot rebuild WorkloadSpec: {exc}") from exc
 
     def to_dict(self) -> Dict[str, Any]:
         from repro.utils.validation import _config_jsonable

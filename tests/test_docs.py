@@ -39,6 +39,7 @@ PUBLIC_PACKAGES = [
     "repro.circuits",
     "repro.cuts",
     "repro.devices",
+    "repro.distrib",
     "repro.engine",
     "repro.experiments",
     "repro.graphs",
@@ -120,6 +121,8 @@ class TestCliHelp:
         ["solve", "--help"],
         ["engine", "--help"],
         ["compare", "--help"],
+        ["merge", "--help"],
+        ["bench", "--help"],
     ])
     def test_help_exits_zero(self, argv, capsys):
         from repro.cli import main
@@ -128,6 +131,15 @@ class TestCliHelp:
             main(argv)
         assert excinfo.value.code == 0
         assert "usage" in capsys.readouterr().out.lower()
+
+    def test_run_help_documents_shard_flags(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--shards", "--checkpoint-dir", "--resume"):
+            assert flag in out
 
     def test_compare_help_documents_flags(self, capsys):
         from repro.cli import main

@@ -63,8 +63,9 @@ def _toy_instances():
     from repro.experiments.figure3 import Figure3Cell
     from repro.experiments.figure4 import Figure4Panel
     from repro.experiments.runner import run_circuit_trials
+    from repro.distrib import ShardCheckpoint
     from repro.graphs.generators import erdos_renyi
-    from repro.workloads import RunReport
+    from repro.workloads import BenchRecord, RunReport
 
     graph = erdos_renyi(10, 0.5, seed=0, name="toy10")
     solve_result = run_circuit_trials(
@@ -98,6 +99,16 @@ def _toy_instances():
             records=[arena_entry], leaderboard=[{"solver": "random", "score": 1.0}],
             elapsed_seconds=0.02, metadata={"suite": "er-small"}, version="1.0.0",
         ),
+        ShardCheckpoint(
+            workload="arena", shard_index=0, n_shards=2, fingerprint="abc123",
+            units=[[0, "random", 0, 2]],
+            payloads=[{"graph_index": 0, "solver": "random", "weights": [11.0]}],
+            elapsed_seconds=0.01,
+        ),
+        BenchRecord(
+            scenario="engine:lif_tr", suite="er-small", wall_seconds=0.5,
+            baseline_seconds=1.0, speedup=2.0, detail={"results_match": True},
+        ),
     ]
     return {type(instance).__name__: instance for instance in instances}
 
@@ -114,7 +125,8 @@ class TestEveryRegisteredTypeRoundTrips:
 
     @pytest.mark.parametrize("type_name", [
         "Table1Row", "AblationPoint", "Figure3Cell", "Figure4Panel",
-        "SolveResult", "ArenaEntry", "RunReport",
+        "SolveResult", "ArenaEntry", "RunReport", "ShardCheckpoint",
+        "BenchRecord",
     ])
     def test_round_trip(self, type_name, tmp_path):
         instance = _toy_instances()[type_name]

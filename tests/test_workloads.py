@@ -163,7 +163,9 @@ class TestValidatedConfigMixin:
 
 class TestRegistry:
     def test_paper_workloads_registered(self):
-        assert list_workloads() == ["ablation", "arena", "figure3", "figure4", "table1"]
+        assert list_workloads() == [
+            "ablation", "arena", "bench", "figure3", "figure4", "table1",
+        ]
 
     def test_unknown_workload_has_suggestion(self):
         with pytest.raises(ValidationError, match="did you mean 'figure3'"):
