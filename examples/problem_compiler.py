@@ -1,0 +1,65 @@
+"""Problem compiler in action: lower a QUBO and a MAX2SAT instance to MAXCUT.
+
+Runs in well under 5 seconds:
+
+    PYTHONPATH=src python examples/problem_compiler.py
+
+Shows the full loop the ``problems`` workload automates — build an instance,
+compile it to a MAXCUT graph through an exact gadget reduction, solve the
+graph with any registered solver, lift the cut back to a native solution,
+and check the value-preservation certificate.
+"""
+
+import numpy as np
+
+from repro.algorithms.registry import get_solver
+from repro.problems import (
+    MaxTwoSatProblem,
+    Qubo,
+    compile_to_maxcut,
+    verify_certificate,
+)
+from repro.algorithms.max2sat import random_max2sat_instance
+from repro.workloads import run_workload
+
+
+def solve_one(problem, solver_name, n_samples=64, seed=0):
+    graph, lifter = compile_to_maxcut(problem, seed=seed)  # certified compile
+    cut = get_solver(solver_name)(graph, n_samples=n_samples, seed=seed)
+    solution = lifter.lift(cut.assignment)
+    certificate = verify_certificate(
+        problem, graph, lifter, assignment=cut.assignment, seed=seed
+    )
+    print(f"{problem.kind:8s} n={problem.n_variables:2d} -> compiled graph "
+          f"({graph.n_vertices} vertices, {graph.n_edges} edges)")
+    print(f"  {solver_name}: cut weight {cut.weight:.3f} -> native objective "
+          f"{problem.objective(solution):.3f} "
+          f"(certificate max error {certificate.max_abs_error:.1e})")
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # A random QUBO (minimise x^T Q x): compiled via the QUBO→Ising linear
+    # map + the ancilla-spin field gadget, solved by simulated annealing.
+    solve_one(Qubo(rng.normal(size=(14, 14))), "annealing")
+
+    # A random MAX2SAT instance: compiled via the augmented v0 formulation,
+    # solved natively by the MAX2SAT SDP *through the same interface*.
+    instance = random_max2sat_instance(10, 30, seed=1)
+    solve_one(MaxTwoSatProblem(instance), "max2sat_gw", n_samples=16)
+
+    # The same machinery as a registered workload: race compiled-to-MAXCUT
+    # solvers against the native solver over the dicut suite.
+    report = run_workload(
+        "problems", problem="dicut",
+        solvers=("random", "annealing", "maxdicut_gw"),
+        trials=2, samples=16, seed=0,
+    )
+    print("\nproblems workload leaderboard (dicut-small):")
+    for row in report.leaderboard:
+        print(f"  {row['solver']:12s} mean ratio {row['score']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

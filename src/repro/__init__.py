@@ -17,7 +17,11 @@ The library implements, in pure NumPy/SciPy:
 * the **unified workload API** (:mod:`repro.workloads`, ``python -m repro
   run <workload>``): one declarative :class:`WorkloadSpec` + :class:`Session`
   runner behind every experiment, arena race, and engine solve, returning a
-  uniform :class:`RunReport`.
+  uniform :class:`RunReport`, and
+* the **problem compiler** (:mod:`repro.problems`, ``repro solve --problem``,
+  ``repro run problems``): a QUBO/Ising/MAXDICUT/MAX2SAT IR lowered onto the
+  MAXCUT solver stack by certified gadget reductions, with problem suites and
+  problem-native solvers racing on the arena leaderboard.
 
 Quickstart
 ----------
@@ -115,6 +119,21 @@ from repro.ising import (
     maxcut_to_ising,
     simulated_annealing_maxcut,
     parallel_tempering,
+)
+from repro.problems import (
+    Qubo,
+    IsingProblem,
+    MaxCutProblem,
+    MaxDiCutProblem,
+    MaxTwoSatProblem,
+    ProblemSource,
+    CompiledGraph,
+    compile_to_maxcut,
+    verify_certificate,
+    qubo_to_ising,
+    ising_to_qubo,
+    list_problem_suites,
+    register_problem_suite,
 )
 from repro.plotting import ascii_line_plot, render_curves
 

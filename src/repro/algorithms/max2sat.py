@@ -228,8 +228,17 @@ def random_max2sat_instance(
     n_variables: int,
     n_clauses: int,
     seed: RandomState = None,
+    weighted: bool = False,
 ) -> Max2SatInstance:
-    """Generate a random MAX2SAT instance with distinct-variable 2-clauses."""
+    """Generate a random MAX2SAT instance with distinct-variable 2-clauses.
+
+    With ``weighted=True`` clause weights are drawn uniformly from
+    ``[0.5, 1.5)`` instead of being 1.  Deterministic given *seed*; problem
+    suites seed it through the library's paired convention
+    (``SeedSequence(seed, spawn_key=...)`` via
+    :func:`repro.utils.rng.paired_seed`), so the same ``(seed, instance)``
+    key yields the same instance across interpreters and execution paths.
+    """
     if n_variables < 2:
         raise ValidationError(f"n_variables must be >= 2, got {n_variables}")
     if n_clauses < 1:
@@ -240,5 +249,6 @@ def random_max2sat_instance(
         v1, v2 = rng.choice(n_variables, size=2, replace=False)
         s1 = 1 if rng.random() < 0.5 else -1
         s2 = 1 if rng.random() < 0.5 else -1
-        clauses.append(Clause(int(s1 * (v1 + 1)), int(s2 * (v2 + 1))))
+        weight = float(rng.uniform(0.5, 1.5)) if weighted else 1.0
+        clauses.append(Clause(int(s1 * (v1 + 1)), int(s2 * (v2 + 1)), weight))
     return Max2SatInstance(n_variables=n_variables, clauses=tuple(clauses))

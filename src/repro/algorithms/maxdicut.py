@@ -25,7 +25,13 @@ from repro.sdp.manifold import project_rows_to_sphere, random_oblique_point, ret
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.validation import ValidationError
 
-__all__ = ["DirectedGraph", "dicut_value", "maxdicut_gw", "MaxDicutResult"]
+__all__ = [
+    "DirectedGraph",
+    "dicut_value",
+    "maxdicut_gw",
+    "MaxDicutResult",
+    "random_digraph",
+]
 
 
 class DirectedGraph:
@@ -87,6 +93,41 @@ def dicut_value(graph: DirectedGraph, in_set: np.ndarray) -> float:
     heads = in_set[graph.arcs[:, 1]].astype(bool)
     crossing = tails & ~heads
     return float(graph.arc_weights[crossing].sum())
+
+
+def random_digraph(
+    n_vertices: int,
+    p: float,
+    seed: RandomState = None,
+    weighted: bool = False,
+    name: str = "digraph",
+) -> DirectedGraph:
+    """Random simple digraph: each ordered pair ``(u, v)`` is an arc w.p. *p*.
+
+    With ``weighted=True`` arc weights are drawn uniformly from
+    ``[0.5, 1.5)`` instead of being 1.  Deterministic given *seed*; problem
+    suites seed it through the library's paired convention
+    (``SeedSequence(seed, spawn_key=...)`` via
+    :func:`repro.utils.rng.paired_seed`), so the same ``(seed, instance)``
+    key yields the same digraph across interpreters and execution paths.
+    """
+    n_vertices = int(n_vertices)
+    if n_vertices < 1:
+        raise ValidationError(f"n_vertices must be >= 1, got {n_vertices}")
+    if not (0.0 <= float(p) <= 1.0):
+        raise ValidationError(f"p must be a probability in [0, 1], got {p}")
+    rng = as_generator(seed)
+    mask = rng.random((n_vertices, n_vertices)) < float(p)
+    np.fill_diagonal(mask, False)
+    tails, heads = np.nonzero(mask)
+    if weighted:
+        weights = rng.uniform(0.5, 1.5, size=tails.shape[0])
+    else:
+        weights = np.ones(tails.shape[0])
+    arcs = [
+        (int(u), int(v), float(w)) for u, v, w in zip(tails, heads, weights)
+    ]
+    return DirectedGraph(n_vertices, arcs, name=name)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,26 @@ Each spec's ``budget`` field records the interpretation:
     ``local_search`` — the budget is divided by 10 to give the number of
     greedy restarts (each restart performs many flip passes).
 
+Problem classes
+---------------
+The problem compiler (:mod:`repro.problems`) lowers QUBO / Ising / MAXDICUT /
+MAX2SAT instances onto MAXCUT graphs, and ``problem_classes`` records which
+instances a solver can race:
+
+``("maxcut",)`` (the default)
+    The solver operates on any weighted graph — compiled problem instances
+    included, since a compiled instance *is* a MAXCUT graph.
+``("maxdicut",)`` / ``("max2sat",)`` / ...
+    A *problem-native* solver (e.g. ``maxdicut_gw``): it requires the
+    compiled graph to carry a native instance of that class (a
+    :class:`repro.problems.compile.CompiledGraph`) and solves it directly,
+    returning the solution embedded back as a cut of the compiled graph so
+    both routes share one leaderboard currency.
+
+:func:`solvers_for_problem` lists the native solvers of a class; the
+``problems`` workload (:mod:`repro.workloads.problems`) uses it to race them
+against compiled-to-MAXCUT circuit solvers.
+
 Registering a new solver
 ------------------------
 Build a :class:`SolverSpec` and pass it to :func:`register_solver`::
@@ -50,7 +70,7 @@ Build a :class:`SolverSpec` and pass it to :func:`register_solver`::
 The solver immediately appears in :func:`list_solvers`, the ``repro solve``
 CLI, and ``repro compare``.  Set ``batchable=True`` and ``circuit=<engine
 circuit name>`` only for circuits the batched engine knows how to simulate.
-See DESIGN.md §"Solver arena" for the full contract.
+See DESIGN.md §"Solver arena" and §"Problem compiler" for the full contract.
 """
 
 from __future__ import annotations
@@ -81,6 +101,7 @@ __all__ = [
     "get_spec",
     "list_solvers",
     "list_specs",
+    "solvers_for_problem",
 ]
 
 SolverFn = Callable[..., Cut]
@@ -119,6 +140,11 @@ class SolverSpec:
     aliases:
         Extra registry keys resolving to this spec (kept for backward
         compatibility, e.g. ``"solver"`` → ``"gw"``).
+    problem_classes:
+        Problem classes the solver can race (see the module docstring):
+        ``("maxcut",)`` for any-graph solvers (the default), or the native
+        class(es) of a problem-native solver that requires a
+        :class:`repro.problems.compile.CompiledGraph` of that kind.
     """
 
     key: str
@@ -130,6 +156,7 @@ class SolverSpec:
     citation: str = ""
     summary: str = ""
     aliases: Tuple[str, ...] = field(default=())
+    problem_classes: Tuple[str, ...] = ("maxcut",)
 
     def __post_init__(self) -> None:
         if not self.key or not isinstance(self.key, str):
@@ -148,6 +175,13 @@ class SolverSpec:
         if self.batchable and self.deterministic:
             raise ValidationError(
                 f"solver {self.key!r}: batchable circuits are stochastic by construction"
+            )
+        if not self.problem_classes or not all(
+            isinstance(kind, str) and kind for kind in self.problem_classes
+        ):
+            raise ValidationError(
+                f"solver {self.key!r}: problem_classes must be a non-empty "
+                f"tuple of class names, got {self.problem_classes!r}"
             )
 
 
@@ -256,12 +290,14 @@ for _spec in (
     ),
     SolverSpec(
         key="annealing", fn=_solve_annealing, deterministic=False, budget="sweeps",
-        citation="KGV83",
+        citation="KGV83", aliases=("ising.annealing",),
+        problem_classes=("maxcut", "ising"),
         summary="simulated annealing on the Ising encoding (n_samples sweeps)",
     ),
     SolverSpec(
         key="tempering", fn=_solve_tempering, deterministic=False, budget="sweeps",
-        citation="Geyer91",
+        citation="Geyer91", aliases=("ising.tempering",),
+        problem_classes=("maxcut", "ising"),
         summary="parallel tempering on the Ising encoding (n_samples sweeps)",
     ),
     SolverSpec(
@@ -282,6 +318,18 @@ def list_solvers() -> list[str]:
 def list_specs() -> list[SolverSpec]:
     """All registered specs (one per canonical key), sorted by key."""
     return [SOLVER_SPECS[k] for k in sorted(SOLVER_SPECS.keys())]
+
+
+def solvers_for_problem(kind: str) -> list[str]:
+    """Canonical keys of the problem-native solvers of class *kind*, sorted.
+
+    Any-graph solvers (``problem_classes == ("maxcut",)``) are *not* listed
+    for other kinds — they run on the compiled graph and need no routing.
+    """
+    return sorted(
+        spec.key for spec in SOLVER_SPECS.values()
+        if kind in spec.problem_classes
+    )
 
 
 def _unknown_solver_error(name: str) -> ValidationError:

@@ -15,6 +15,10 @@ bench       Run the performance benchmark workload and write the schema'd
             BENCH artifact; ``--check benchmarks/baseline.json`` gates the
             measured speedups against committed floors (CI's bench-smoke).
 solve       Run one solver (circuit or classical) on a graph and print the cut.
+            With ``--problem {qubo,ising,dicut,2sat}`` the instance (random,
+            or loaded with ``--from FILE``) is lowered to MAXCUT through the
+            problem compiler, solved (batchable circuits ride the batched
+            engine), lifted back, and certified for value preservation.
 engine      Run trial-parallel batched circuit simulation (repro.engine):
             many independent trials of one circuit on one graph in a single
             vectorised solve, with dense/sparse weight backends and optional
@@ -41,6 +45,9 @@ import sys
 import warnings
 from typing import Any, Dict, Optional, Sequence
 
+import numpy as np
+
+import repro.problems  # registers problem-native solvers and problem suites
 from repro.algorithms.registry import get_solver, list_solvers
 from repro.arena.suite import list_suites
 from repro.experiments.runner import save_results
@@ -173,13 +180,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit 1 when the gate fails")
 
     # solve ------------------------------------------------------------------
-    solve = subparsers.add_parser("solve", help="run one solver on one graph")
+    solve = subparsers.add_parser(
+        "solve",
+        help="run one solver on one graph or one compiled problem instance",
+        description=(
+            "Run one solver on one graph and print the cut. With --problem, "
+            "the instance is lowered to MAXCUT through the problem compiler "
+            "(repro.problems), solved — batchable circuits through the "
+            "batched engine — lifted back to a native solution, and checked "
+            "against a value-preservation certificate."
+        ),
+    )
     solve.add_argument("--solver", choices=list_solvers(), default="lif_gw")
     solve.add_argument("--graph", type=str, default=None,
                        help="Table I graph name or an edge-list / .mtx file path")
     solve.add_argument("--er", type=float, nargs=2, metavar=("N", "P"), default=(50, 0.25),
                        help="Erdős–Rényi parameters used when --graph is not given")
     solve.add_argument("--samples", type=int, default=512)
+    solve.add_argument("--problem", type=str, default=None,
+                       choices=["qubo", "ising", "dicut", "2sat"],
+                       help="solve a problem instance compiled to MAXCUT "
+                            "instead of a raw graph")
+    solve.add_argument("--from", dest="from_file", type=str, default=None,
+                       metavar="FILE",
+                       help="JSON problem instance to load (default: a "
+                            "seed-deterministic random instance of --problem)")
+    solve.add_argument("--vertices", type=int, default=16, metavar="N",
+                       help="size of the random instance when --from is not given")
+    solve.add_argument("--trials", type=int, default=4,
+                       help="engine batch trials for batchable solvers "
+                            "(--problem mode)")
 
     # engine -----------------------------------------------------------------
     engine = subparsers.add_parser(
@@ -547,6 +577,8 @@ def _deprecated(old: str, new: str) -> None:
 
 
 def _command_solve(args: argparse.Namespace) -> int:
+    if args.problem is not None:
+        return _solve_problem(args)
     graph = _load_graph(args)
     solver = get_solver(args.solver)
     cut = solver(graph, n_samples=args.samples, seed=args.seed)
@@ -555,6 +587,84 @@ def _command_solve(args: argparse.Namespace) -> int:
     print(f"cut weight : {cut.weight:g}  (of total edge weight {graph.total_weight:g})")
     sides = cut.side_sizes
     print(f"partition  : {sides[0]} / {sides[1]} vertices")
+    return 0
+
+
+def _solve_problem(args: argparse.Namespace) -> int:
+    """``repro solve --problem``: compile → solve → lift → certify."""
+    from repro.experiments.runner import run_circuit_trials
+    from repro.problems import (
+        compile_to_maxcut,
+        load_problem,
+        random_problem,
+        verify_certificate,
+    )
+    from repro.workloads.problems import (
+        PROBLEM_KIND_ALIASES,
+        check_solver_compatibility,
+    )
+
+    kind = PROBLEM_KIND_ALIASES[args.problem]
+    try:
+        if args.from_file is not None:
+            problem = load_problem(args.from_file)
+            if problem.kind != kind:
+                raise ValidationError(
+                    f"{args.from_file!r} holds a {problem.kind!r} instance, "
+                    f"but --problem {args.problem} was requested"
+                )
+        else:
+            problem = random_problem(
+                kind, seed=args.seed, n_variables=args.vertices
+            )
+        graph, lifter = compile_to_maxcut(problem, seed=args.seed)
+        spec = check_solver_compatibility(args.solver, kind)
+        print(f"problem    : {problem.describe()}")
+        print(f"compiled   : {graph.name} ({graph.n_vertices} vertices, "
+              f"{graph.n_edges} edges)")
+        if spec.batchable:
+            result = run_circuit_trials(
+                graph=graph, circuit=spec.circuit, n_trials=args.trials,
+                n_samples=args.samples, seed=args.seed,
+            )
+            cut = result.best_cut
+            print(f"solver     : {spec.key} (batched engine, "
+                  f"{result.n_trials} trials x {result.n_rounds} read-outs, "
+                  f"backend {result.backend_name})")
+        else:
+            cut = spec.fn(graph, n_samples=args.samples, seed=args.seed)
+            print(f"solver     : {spec.key}")
+        solution = lifter.lift(cut.assignment)
+        certificate = verify_certificate(
+            problem, graph, lifter, assignment=cut.assignment, seed=args.seed
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    direction = "maximise" if problem.direction == "max" else "minimise"
+    print(f"cut weight : {cut.weight:g}")
+    print(f"objective  : {problem.objective(solution):g}  ({direction}, "
+          f"native {problem.kind})")
+    print(f"certificate: OK — value preservation verified on "
+          f"{certificate.n_probes} probes + the solved cut "
+          f"(max |error| {certificate.max_abs_error:.2e})")
+    if args.save:
+        from repro.experiments.runner import atomic_write_json
+
+        atomic_write_json(args.save, {
+            "problem": problem.to_dict(),
+            "solver": spec.key,
+            "cut_weight": float(cut.weight),
+            "objective": float(problem.objective(solution)),
+            "assignment": np.asarray(cut.assignment).tolist(),
+            "solution": np.asarray(solution).tolist(),
+            "certificate": {
+                "n_probes": certificate.n_probes,
+                "max_abs_error": certificate.max_abs_error,
+            },
+            "seed": args.seed,
+        })
+        print(f"\nresults written to {args.save}")
     return 0
 
 

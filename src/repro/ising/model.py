@@ -99,6 +99,8 @@ def maxcut_to_ising(graph: Graph) -> IsingModel:
     """Convert a MAXCUT instance to the equivalent Ising model.
 
     ``cut(v) = offset - H(v)`` with ``offset = W/2`` and ``J_ij = A_ij / 2``.
+    The produced model always has zero fields — the precondition
+    :func:`cut_weight_from_spins` enforces on the way back.
     """
     return IsingModel(
         n_spins=graph.n_vertices,
@@ -120,5 +122,25 @@ def ising_energy(model: IsingModel, spins: np.ndarray) -> float:
 
 
 def cut_weight_from_spins(model: IsingModel, spins: np.ndarray) -> float:
-    """Cut weight corresponding to a spin configuration of a MAXCUT-derived model."""
+    """Cut weight corresponding to a spin configuration of a MAXCUT-derived model.
+
+    Only valid for models produced by :func:`maxcut_to_ising`, whose fields
+    are identically zero: the identity ``cut(v) = offset - H(v)`` folds the
+    *whole* pair interaction into the offset, and a nonzero field would make
+    the round-trip silently drop the field term from the reported weight.
+    Field-carrying instances must go through the problem compiler
+    (:func:`repro.problems.compile_to_maxcut`, whose ancilla-spin gadget
+    handles fields exactly) instead.
+
+    Raises
+    ------
+    ValidationError
+        If *model* carries any nonzero external field.
+    """
+    if model.fields.size and np.any(model.fields != 0.0):
+        raise ValidationError(
+            "cut_weight_from_spins is only valid for MAXCUT-derived models "
+            "with zero external fields; compile field-carrying Ising "
+            "instances through repro.problems.compile_to_maxcut instead"
+        )
     return model.offset - ising_energy(model, spins)

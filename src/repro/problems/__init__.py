@@ -1,0 +1,88 @@
+"""Problem compiler: one IR, many problem classes, one MAXCUT solver stack.
+
+The paper's Discussion (§VI) observes that the LIF-GW sampling circuit is
+not MAXCUT-specific — the same hardware rounds MAXDICUT and MAX2SAT
+relaxations.  This package operationalises that observation as a small
+compiler: declarative :class:`Problem` instances (:class:`Qubo`,
+:class:`IsingProblem`, :class:`MaxCutProblem`, :class:`MaxDiCutProblem`,
+:class:`MaxTwoSatProblem`) are lowered by :func:`compile_to_maxcut` onto
+weighted MAXCUT graphs via exact gadget reductions, with a :class:`Lifter`
+decoding every cut back to a native solution and
+:func:`verify_certificate` asserting objective-value preservation on every
+compile and every solve.
+
+Because a compiled instance *is* a :class:`repro.graphs.graph.Graph`, the
+batched engine, the capability-routed executor, the shard adapters, and the
+bench gate all apply unchanged — problem suites (``qubo-small``,
+``ising-small``, ``dicut-small``, ``2sat-small``) register beside the graph
+suites, :class:`ProblemSource` slots into ``WorkloadSpec.graphs``, and the
+``problems`` workload plus ``repro solve --problem`` close the loop.  See
+DESIGN.md §"Problem compiler".
+"""
+
+from repro.problems.base import (
+    Certificate,
+    CertificateError,
+    Lifter,
+    Problem,
+    brute_force,
+    verify_certificate,
+)
+from repro.problems.compile import (
+    CompiledGraph,
+    compile_to_maxcut,
+    register_reduction,
+)
+from repro.problems.io import load_problem, problem_from_dict, save_problem
+from repro.problems.ir import (
+    IsingProblem,
+    MaxCutProblem,
+    MaxDiCutProblem,
+    MaxTwoSatProblem,
+    Qubo,
+    ising_to_qubo,
+    qubo_to_ising,
+)
+from repro.problems.suites import (
+    ProblemSuite,
+    build_problem_suite,
+    compiled_problem_graphs,
+    get_problem_suite,
+    list_problem_suites,
+    random_problem,
+    register_problem_suite,
+)
+from repro.problems import solvers as _solvers  # registers native solvers
+from repro.problems.solvers import native_instance
+from repro.problems.source import ProblemSource
+
+__all__ = [
+    "Problem",
+    "Lifter",
+    "Certificate",
+    "CertificateError",
+    "verify_certificate",
+    "brute_force",
+    "Qubo",
+    "IsingProblem",
+    "MaxCutProblem",
+    "MaxDiCutProblem",
+    "MaxTwoSatProblem",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "CompiledGraph",
+    "compile_to_maxcut",
+    "register_reduction",
+    "ProblemSuite",
+    "register_problem_suite",
+    "get_problem_suite",
+    "list_problem_suites",
+    "build_problem_suite",
+    "compiled_problem_graphs",
+    "random_problem",
+    "ProblemSource",
+    "native_instance",
+    "problem_from_dict",
+    "load_problem",
+    "save_problem",
+]

@@ -1,0 +1,267 @@
+"""Problem IR foundations: :class:`Problem`, :class:`Lifter`, certificates.
+
+The problem compiler (paper Discussion §VI) treats MAXCUT as the *target
+machine* of a small compilation pipeline: every supported problem class —
+QUBO, Ising (with external fields), MAXCUT itself, MAXDICUT, MAX2SAT — is a
+:class:`Problem` subclass, and :func:`repro.problems.compile_to_maxcut`
+lowers an instance onto a weighted :class:`repro.graphs.graph.Graph` the
+whole solver stack (batched engine, arena, sharded workloads) already knows
+how to race on.
+
+Two invariants make the lowering trustworthy:
+
+* **Per-assignment exactness.**  Every gadget reduction in this package is
+  exact for *every* assignment, not just the optimum: the native objective of
+  the lifted solution is an affine function of the cut weight,
+  ``native = value_scale * cut + value_offset`` (the :class:`Lifter` carries
+  the two constants).  Optimum preservation follows as a corollary.
+* **Certificates.**  :func:`verify_certificate` checks the affine identity on
+  random probe assignments (and optionally on a concrete solved cut) and
+  raises :class:`CertificateError` on any violation, so a broken reduction
+  can never silently report wrong objective values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "Problem",
+    "Lifter",
+    "Certificate",
+    "CertificateError",
+    "verify_certificate",
+    "brute_force",
+    "MAX_BRUTE_FORCE_VARIABLES",
+]
+
+#: Hard cap on :func:`brute_force` enumeration (2^20 objective evaluations).
+MAX_BRUTE_FORCE_VARIABLES = 20
+
+
+class Problem(abc.ABC):
+    """One optimisation problem instance in the compiler's IR.
+
+    Subclasses declare their ``kind`` (the registry key used by solver
+    capability routing and the CLI), their optimisation ``direction``
+    (``"max"`` or ``"min"``), and the native *solution* representation —
+    always a length-``n_variables`` vector over a binary domain (0/1 bits,
+    ±1 spins, or booleans), which is what makes the generic
+    :func:`brute_force` and the bit-vector probes of
+    :func:`verify_certificate` possible.
+    """
+
+    #: Problem-class key (``"qubo"``, ``"ising"``, ``"maxcut"``,
+    #: ``"maxdicut"``, ``"max2sat"``).
+    kind: str = ""
+
+    #: ``"max"`` or ``"min"`` — which way :meth:`objective` is optimised.
+    direction: str = "max"
+
+    @property
+    @abc.abstractmethod
+    def n_variables(self) -> int:
+        """Number of native decision variables."""
+
+    @abc.abstractmethod
+    def objective(self, solution: Any) -> float:
+        """Native objective value of *solution* (validated)."""
+
+    @abc.abstractmethod
+    def solution_from_bits(self, bits: np.ndarray) -> Any:
+        """Map a 0/1 vector onto the native solution representation."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-safe instance description (see :mod:`repro.problems.io`)."""
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI."""
+        return f"{self.kind} instance with {self.n_variables} variable(s)"
+
+    def is_improvement(self, candidate: float, incumbent: float) -> bool:
+        """Whether *candidate* beats *incumbent* under this direction."""
+        if self.direction == "max":
+            return candidate > incumbent
+        return candidate < incumbent
+
+
+class Lifter(abc.ABC):
+    """Decoder from compiled-MAXCUT assignments back to native solutions.
+
+    ``compile_to_maxcut`` returns a lifter alongside the compiled graph.  The
+    affine constants make the certificate checkable and let native solvers'
+    objective values be placed on the same cut-weight leaderboard as circuit
+    solvers racing the compiled graph:
+
+    ``native = value_scale * cut_weight + value_offset``
+
+    holds for **every** ±1 assignment of the compiled graph (per-assignment
+    exactness), with :meth:`lift` and :meth:`embed` the two directions of the
+    solution map.
+    """
+
+    #: The native problem this lifter decodes back to.
+    problem: Problem
+    #: Affine map constants: ``native = value_scale * cut + value_offset``.
+    value_scale: float
+    value_offset: float
+
+    @abc.abstractmethod
+    def lift(self, assignment: np.ndarray) -> Any:
+        """Decode a ±1 assignment of the compiled graph to a native solution."""
+
+    @abc.abstractmethod
+    def embed(self, solution: Any) -> np.ndarray:
+        """Encode a native solution as a ±1 assignment of the compiled graph."""
+
+    def native_value(self, cut_weight: float) -> float:
+        """Native objective equivalent of a compiled-graph cut weight."""
+        return self.value_scale * float(cut_weight) + self.value_offset
+
+    def cut_value(self, native: float) -> float:
+        """Compiled-graph cut weight equivalent of a native objective value."""
+        return (float(native) - self.value_offset) / self.value_scale
+
+
+class CertificateError(ValidationError):
+    """A reduction failed its objective-value-preservation check."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Outcome of a passed :func:`verify_certificate` check.
+
+    Attributes
+    ----------
+    kind:
+        Problem class the reduction was checked for.
+    n_probes:
+        Random probe assignments checked (the solved assignment, when
+        supplied, is checked additionally).
+    max_abs_error:
+        Largest ``|native - (scale * cut + offset)|`` seen over all checks.
+    cut_weight, native_value:
+        The solved assignment's cut weight and lifted native objective
+        (``None`` when no assignment was supplied).
+    """
+
+    kind: str
+    n_probes: int
+    max_abs_error: float
+    cut_weight: Optional[float] = None
+    native_value: Optional[float] = None
+
+
+def _check_one(
+    problem: Problem,
+    graph,
+    lifter: Lifter,
+    assignment: np.ndarray,
+    label: str,
+    atol: float,
+    rtol: float,
+) -> Tuple[float, float, float]:
+    """Check the affine identity + embed round-trip for one assignment."""
+    from repro.cuts.cut import cut_weight
+
+    cut = cut_weight(graph, assignment)
+    native = problem.objective(lifter.lift(assignment))
+    expected = lifter.native_value(cut)
+    tolerance = atol + rtol * max(1.0, abs(native))
+    error = abs(native - expected)
+    if not np.isfinite(native) or error > tolerance:
+        raise CertificateError(
+            f"{problem.kind} reduction failed value preservation on {label}: "
+            f"lifted objective {native!r} but cut weight {cut:g} implies "
+            f"{expected:g} (scale {lifter.value_scale:g}, "
+            f"offset {lifter.value_offset:g})"
+        )
+    round_trip = cut_weight(graph, lifter.embed(lifter.lift(assignment)))
+    if abs(round_trip - cut) > tolerance:
+        raise CertificateError(
+            f"{problem.kind} reduction failed embed round-trip on {label}: "
+            f"cut weight {cut:g} became {round_trip:g} after lift+embed"
+        )
+    return cut, native, error
+
+
+def verify_certificate(
+    problem: Problem,
+    graph,
+    lifter: Lifter,
+    assignment: Optional[np.ndarray] = None,
+    n_probes: int = 8,
+    seed: RandomState = 0,
+    atol: float = 1e-8,
+    rtol: float = 1e-9,
+) -> Certificate:
+    """Assert objective-value preservation of a compiled instance.
+
+    Draws *n_probes* random ±1 assignments of the compiled *graph* and checks
+    the lifter's affine identity ``native = value_scale * cut + value_offset``
+    plus the ``embed(lift(.))`` round-trip on each; when *assignment* is
+    given (a solved cut), it is checked too and its values recorded in the
+    returned :class:`Certificate`.  Any violation raises
+    :class:`CertificateError`.
+
+    Because every reduction in this package is exact per assignment, random
+    probes certify the *compilation* (graph weights, scale, offset) — not
+    merely the solution at hand.
+    """
+    if n_probes < 1:
+        raise ValidationError(f"n_probes must be >= 1, got {n_probes}")
+    rng = as_generator(seed)
+    n = graph.n_vertices
+    max_error = 0.0
+    probes = (2 * rng.integers(0, 2, size=(int(n_probes), n)) - 1).astype(np.int8)
+    for index in range(probes.shape[0]):
+        _, _, error = _check_one(
+            problem, graph, lifter, probes[index], f"probe {index}", atol, rtol
+        )
+        max_error = max(max_error, error)
+    cut = native = None
+    if assignment is not None:
+        assignment = np.asarray(assignment)
+        cut, native, error = _check_one(
+            problem, graph, lifter, assignment, "the solved assignment", atol, rtol
+        )
+        max_error = max(max_error, error)
+    return Certificate(
+        kind=problem.kind,
+        n_probes=int(n_probes),
+        max_abs_error=float(max_error),
+        cut_weight=cut,
+        native_value=native,
+    )
+
+
+def brute_force(problem: Problem) -> Tuple[Any, float]:
+    """Exact native optimum by exhaustive enumeration (small instances only).
+
+    Enumerates all ``2^n`` bit vectors through
+    :meth:`Problem.solution_from_bits`; the test-suite counterpart of
+    :func:`repro.cuts.exact.exact_maxcut` on the compiled side.
+    """
+    n = problem.n_variables
+    if n > MAX_BRUTE_FORCE_VARIABLES:
+        raise ValidationError(
+            f"brute_force supports at most {MAX_BRUTE_FORCE_VARIABLES} "
+            f"variables, got {n}"
+        )
+    best_solution = None
+    best_value = -np.inf if problem.direction == "max" else np.inf
+    for index in range(1 << n):
+        bits = ((index >> np.arange(n)) & 1).astype(np.int8)
+        solution = problem.solution_from_bits(bits)
+        value = problem.objective(solution)
+        if best_solution is None or problem.is_improvement(value, best_value):
+            best_solution, best_value = solution, value
+    return best_solution, float(best_value)

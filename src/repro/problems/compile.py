@@ -1,0 +1,402 @@
+"""``compile_to_maxcut``: gadget reductions lowering every IR class to MAXCUT.
+
+Every reduction is expressed through one tiny algebra.  A problem's objective
+(up to sign) is written as a *score form* over ±1 variables::
+
+    score(s) = const + sum_{i<j} c_ij s_i s_j
+
+and a weighted graph with edge weights ``w_ij = -2 c_ij`` satisfies, for
+every assignment,
+
+    cut(s) = -sum c_ij + sum c_ij s_i s_j
+    =>  score(s) = cut(s) + const + sum c_ij.
+
+Maximising the score is therefore exactly maximising the cut, and the native
+objective is the affine function ``sign * (cut + const + sum c)`` of the cut
+weight — the ``value_scale`` / ``value_offset`` the :class:`Lifter` carries
+(``sign = +1`` for maximisation problems, ``-1`` for minimisation).
+
+Gadgets per problem class
+-------------------------
+``maxcut``
+    Identity (edge weights copied verbatim).
+``ising``
+    Fields handled by the standard ancilla-spin gadget: spin ``s_0`` is
+    prepended and every field ``h_i`` becomes a coupling ``J_{0i} = h_i``;
+    ``H(s_0 · s) = H'(s_0, s)`` for every assignment, so lifting multiplies
+    the spins by ``s_0``.  Field-free models skip the ancilla.
+``qubo``
+    The exact linear map :func:`repro.problems.ir.qubo_to_ising`, then the
+    Ising gadget; the lifter converts spins back to bits.
+``maxdicut`` / ``max2sat``
+    The augmented ``v_0`` formulations already used by
+    :func:`repro.algorithms.maxdicut.maxdicut_gw` and
+    :func:`repro.algorithms.max2sat.max2sat_gw`: a marker vertex ``v_0``
+    fixes the "true" / "inside S" direction, each arc or clause contributes
+    its quadratic indicator, and lifting compares every vertex's side with
+    the marker's.
+
+Compiled graphs are :class:`CompiledGraph` instances — plain
+:class:`repro.graphs.graph.Graph` objects (the whole solver stack applies
+unchanged) that additionally carry their native problem and lifter, which is
+how problem-native solvers registered with ``problem_classes`` reach the
+original instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cuts.cut import bits_from_spins, spins_from_bits
+from repro.graphs.graph import Graph
+from repro.problems.base import Lifter, Problem, verify_certificate
+from repro.problems.ir import (
+    IsingProblem,
+    MaxCutProblem,
+    MaxDiCutProblem,
+    MaxTwoSatProblem,
+    Qubo,
+)
+from repro.utils.rng import RandomState
+from repro.utils.validation import ValidationError, check_binary_vector
+
+__all__ = [
+    "CompiledGraph",
+    "compile_to_maxcut",
+    "register_reduction",
+    "IdentityLifter",
+    "SpinLifter",
+    "QuboLifter",
+    "MarkerLifter",
+]
+
+
+class CompiledGraph(Graph):
+    """A compiled MAXCUT instance: a :class:`Graph` carrying its provenance.
+
+    Everywhere a ``Graph`` goes — circuits, the batched engine, arena
+    suites, shard units — a ``CompiledGraph`` goes identically; the two
+    extra slots only exist so problem-native solvers (and the certificate
+    check) can reach the instance the graph was lowered from.
+    """
+
+    __slots__ = ("problem", "lifter")
+
+    def __init__(
+        self,
+        n_vertices: int,
+        edges: Iterable[Sequence[float]],
+        name: str,
+        problem: Problem,
+        lifter: "Lifter",
+    ) -> None:
+        super().__init__(n_vertices, edges, name=name)
+        self.problem = problem
+        self.lifter = lifter
+
+
+# ---------------------------------------------------------------------------
+# Lifters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IdentityLifter(Lifter):
+    """MAXCUT→MAXCUT: the assignment *is* the solution."""
+
+    problem: Problem
+    value_scale: float = 1.0
+    value_offset: float = 0.0
+
+    def lift(self, assignment: np.ndarray) -> np.ndarray:
+        return np.asarray(assignment, dtype=np.int8)
+
+    def embed(self, solution: np.ndarray) -> np.ndarray:
+        return np.asarray(solution, dtype=np.int8)
+
+
+@dataclass(frozen=True)
+class SpinLifter(Lifter):
+    """Ising→MAXCUT: optional ancilla spin at vertex 0 absorbing the fields.
+
+    With the ancilla, vertex 0 is the gadget spin and vertex ``i + 1`` is
+    native spin ``i``; lifting multiplies by the ancilla's sign (the gadget
+    identity ``H(s_0 · s) = H'(s_0, s)``).  Without fields the assignment is
+    the spin vector itself.
+    """
+
+    problem: Problem
+    value_scale: float
+    value_offset: float
+    has_ancilla: bool
+
+    def lift(self, assignment: np.ndarray) -> np.ndarray:
+        assignment = np.asarray(assignment, dtype=np.int8)
+        if self.has_ancilla:
+            return (assignment[0] * assignment[1:]).astype(np.int8)
+        return assignment
+
+    def embed(self, solution: np.ndarray) -> np.ndarray:
+        spins = np.asarray(solution, dtype=np.int8)
+        if self.has_ancilla:
+            return np.concatenate([np.ones(1, dtype=np.int8), spins])
+        return spins
+
+
+@dataclass(frozen=True)
+class QuboLifter(Lifter):
+    """QUBO→MAXCUT: the Ising spin lift composed with the bit↔spin map."""
+
+    problem: Problem
+    value_scale: float
+    value_offset: float
+    spin_lifter: SpinLifter
+
+    def lift(self, assignment: np.ndarray) -> np.ndarray:
+        return bits_from_spins(self.spin_lifter.lift(assignment))
+
+    def embed(self, solution: np.ndarray) -> np.ndarray:
+        bits = check_binary_vector(solution, self.problem.n_variables, "x")
+        return self.spin_lifter.embed(spins_from_bits(bits))
+
+
+@dataclass(frozen=True)
+class MarkerLifter(Lifter):
+    """MAXDICUT/MAX2SAT→MAXCUT: marker vertex 0 fixes the positive side.
+
+    Vertex ``i + 1`` carries native variable ``i``; a variable is "in S" /
+    "true" exactly when its vertex lands on the marker's side of the cut.
+    """
+
+    problem: Problem
+    value_scale: float
+    value_offset: float
+    as_bool: bool = False
+
+    def lift(self, assignment: np.ndarray) -> np.ndarray:
+        assignment = np.asarray(assignment)
+        indicator = (assignment[1:] == assignment[0]).astype(np.int8)
+        return indicator.astype(bool) if self.as_bool else indicator
+
+    def embed(self, solution: np.ndarray) -> np.ndarray:
+        indicator = np.asarray(solution).astype(np.int8)
+        spins = spins_from_bits(indicator)
+        return np.concatenate([np.ones(1, dtype=np.int8), spins])
+
+
+# ---------------------------------------------------------------------------
+# The score-form accumulator shared by every gadget
+# ---------------------------------------------------------------------------
+
+
+class _ScoreForm:
+    """Accumulates ``const + sum c_ij s_i s_j`` and renders it as edges."""
+
+    def __init__(self, n_vertices: int) -> None:
+        self.n_vertices = int(n_vertices)
+        self.const = 0.0
+        self._coeffs: Dict[Tuple[int, int], float] = {}
+
+    def add_constant(self, value: float) -> None:
+        self.const += float(value)
+
+    def add_pair(self, i: int, j: int, coefficient: float) -> None:
+        if i == j:
+            # s_i^2 == 1: a diagonal coefficient is just a constant.
+            self.const += float(coefficient)
+            return
+        key = (i, j) if i < j else (j, i)
+        self._coeffs[key] = self._coeffs.get(key, 0.0) + float(coefficient)
+
+    def edges_and_offset(self) -> Tuple[List[Tuple[int, int, float]], float]:
+        """Edge list (``w = -2c``, zero-coefficient pairs dropped) and the
+        additive constant such that ``score(s) = cut(s) + offset``."""
+        edges = [
+            (i, j, -2.0 * c) for (i, j), c in sorted(self._coeffs.items())
+            if c != 0.0
+        ]
+        coefficient_sum = sum(self._coeffs.values())
+        return edges, self.const + coefficient_sum
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def _compile_maxcut(problem: MaxCutProblem, name: str) -> CompiledGraph:
+    graph = problem.graph
+    edges = [
+        (int(u), int(v), float(w))
+        for (u, v), w in zip(graph.edges, graph.edge_weights)
+    ]
+    lifter = IdentityLifter(problem=problem)
+    return CompiledGraph(graph.n_vertices, edges, name, problem, lifter)
+
+
+def _ising_score_form(problem: IsingProblem) -> Tuple[_ScoreForm, bool]:
+    """Score form of ``-H`` (minimisation → maximise the negated energy)."""
+    model = problem.model
+    ancilla = problem.has_fields
+    shift = 1 if ancilla else 0
+    form = _ScoreForm(model.n_spins + shift)
+    form.add_constant(-float(model.offset))
+    for (u, v), coupling in zip(model.edges, model.couplings):
+        form.add_pair(int(u) + shift, int(v) + shift, -float(coupling))
+    if ancilla:
+        for i, field in enumerate(model.fields):
+            if field != 0.0:
+                form.add_pair(0, i + 1, -float(field))
+    return form, ancilla
+
+
+def _compile_ising(problem: IsingProblem, name: str) -> CompiledGraph:
+    form, ancilla = _ising_score_form(problem)
+    edges, offset = form.edges_and_offset()
+    lifter = SpinLifter(
+        problem=problem,
+        value_scale=-1.0,
+        value_offset=-offset,
+        has_ancilla=ancilla,
+    )
+    return CompiledGraph(form.n_vertices, edges, name, problem, lifter)
+
+
+def _compile_qubo(problem: Qubo, name: str) -> CompiledGraph:
+    ising = problem.to_ising()
+    form, ancilla = _ising_score_form(ising)
+    edges, offset = form.edges_and_offset()
+    spin_lifter = SpinLifter(
+        problem=ising, value_scale=-1.0, value_offset=-offset,
+        has_ancilla=ancilla,
+    )
+    lifter = QuboLifter(
+        problem=problem,
+        value_scale=-1.0,
+        value_offset=-offset,
+        spin_lifter=spin_lifter,
+    )
+    return CompiledGraph(form.n_vertices, edges, name, problem, lifter)
+
+
+def _compile_maxdicut(problem: MaxDiCutProblem, name: str) -> CompiledGraph:
+    # Arc (u, v, w) leaves S iff x_u = x_0 and x_v != x_0:
+    # w * (1 + x0·xu - x0·xv - xu·xv) / 4 — the augmented formulation
+    # maxdicut_gw relaxes, written as a score form.
+    digraph = problem.digraph
+    form = _ScoreForm(digraph.n_vertices + 1)
+    for (u, v), w in zip(digraph.arcs, digraph.arc_weights):
+        w = float(w)
+        form.add_constant(w / 4.0)
+        form.add_pair(0, int(u) + 1, w / 4.0)
+        form.add_pair(0, int(v) + 1, -w / 4.0)
+        form.add_pair(int(u) + 1, int(v) + 1, -w / 4.0)
+    edges, offset = form.edges_and_offset()
+    lifter = MarkerLifter(
+        problem=problem, value_scale=1.0, value_offset=offset, as_bool=False,
+    )
+    return CompiledGraph(form.n_vertices, edges, name, problem, lifter)
+
+
+def _compile_max2sat(problem: MaxTwoSatProblem, name: str) -> CompiledGraph:
+    # Clause (l1 ∨ l2) of weight w: satisfied weight
+    # w * (3 + a + b - a·b) / 4 with a = sign1·x0·x_{v1}, b = sign2·x0·x_{v2}
+    # — the augmented formulation max2sat_gw relaxes.  Unit clauses (and
+    # duplicated literals) reduce to w (1 + a) / 2; tautologies (x ∨ ¬x)
+    # are constants.
+    instance = problem.instance
+    form = _ScoreForm(instance.n_variables + 1)
+    for clause in instance.clauses:
+        w = float(clause.weight)
+        v1 = abs(clause.literal1) - 1
+        s1 = 1.0 if clause.literal1 > 0 else -1.0
+        if clause.literal2 == 0:
+            unit, v2, s2 = True, v1, s1
+        else:
+            v2 = abs(clause.literal2) - 1
+            s2 = 1.0 if clause.literal2 > 0 else -1.0
+            if v2 == v1 and s2 == s1:
+                unit = True
+            elif v2 == v1:
+                form.add_constant(w)  # tautology: always satisfied
+                continue
+            else:
+                unit = False
+        if unit:
+            form.add_constant(w / 2.0)
+            form.add_pair(0, v1 + 1, w * s1 / 2.0)
+        else:
+            form.add_constant(3.0 * w / 4.0)
+            form.add_pair(0, v1 + 1, w * s1 / 4.0)
+            form.add_pair(0, v2 + 1, w * s2 / 4.0)
+            form.add_pair(v1 + 1, v2 + 1, -w * s1 * s2 / 4.0)
+    edges, offset = form.edges_and_offset()
+    lifter = MarkerLifter(
+        problem=problem, value_scale=1.0, value_offset=offset, as_bool=True,
+    )
+    return CompiledGraph(form.n_vertices, edges, name, problem, lifter)
+
+
+#: kind → reduction registry (extensible via :func:`register_reduction`).
+_REDUCTIONS: Dict[str, Callable[[Problem, str], CompiledGraph]] = {
+    "maxcut": _compile_maxcut,
+    "ising": _compile_ising,
+    "qubo": _compile_qubo,
+    "maxdicut": _compile_maxdicut,
+    "max2sat": _compile_max2sat,
+}
+
+
+def register_reduction(
+    kind: str,
+    reduction: Callable[[Problem, str], CompiledGraph],
+    overwrite: bool = False,
+) -> None:
+    """Register a reduction for a new problem ``kind`` (collisions raise).
+
+    The callable receives ``(problem, name)`` and must return a
+    :class:`CompiledGraph` whose lifter satisfies the per-assignment affine
+    identity — :func:`compile_to_maxcut` certifies it on every compile.
+    """
+    if kind in _REDUCTIONS and not overwrite:
+        raise ValidationError(
+            f"reduction for kind {kind!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _REDUCTIONS[kind] = reduction
+
+
+def compile_to_maxcut(
+    problem: Problem,
+    name: Optional[str] = None,
+    verify: bool = True,
+    n_probes: int = 4,
+    seed: RandomState = 0,
+) -> Tuple[CompiledGraph, Lifter]:
+    """Lower *problem* onto a MAXCUT instance; returns ``(graph, lifter)``.
+
+    The returned graph is a :class:`CompiledGraph` (it also carries the
+    problem and lifter itself, for solver-capability routing); *verify* runs
+    :func:`repro.problems.base.verify_certificate` on *n_probes* random
+    assignments so a broken gadget can never hand the solver stack a graph
+    whose cuts mean the wrong thing.
+    """
+    if not isinstance(problem, Problem):
+        raise ValidationError(
+            f"compile_to_maxcut expects a Problem, got {type(problem).__name__}"
+        )
+    reduction = _REDUCTIONS.get(problem.kind)
+    if reduction is None:
+        raise ValidationError(
+            f"no reduction registered for problem kind {problem.kind!r}; "
+            f"known kinds: {sorted(_REDUCTIONS)}"
+        )
+    graph = reduction(problem, name or f"{problem.kind}-{problem.n_variables}")
+    if verify:
+        verify_certificate(
+            problem, graph, graph.lifter, n_probes=n_probes, seed=seed
+        )
+    return graph, graph.lifter

@@ -1,0 +1,328 @@
+"""The five problem classes of the compiler IR, plus the QUBO↔Ising maps.
+
+Every class wraps an existing substrate the repo already carried —
+:class:`repro.ising.model.IsingModel`, :class:`repro.graphs.graph.Graph`,
+:class:`repro.algorithms.maxdicut.DirectedGraph`,
+:class:`repro.algorithms.max2sat.Max2SatInstance` — behind the uniform
+:class:`repro.problems.base.Problem` interface so
+:func:`repro.problems.compile_to_maxcut` can lower any of them onto the
+MAXCUT solver stack.
+
+Native solution representations
+-------------------------------
+========== ================ ===========================================
+kind        direction        solution
+========== ================ ===========================================
+``qubo``    min              0/1 vector ``x`` (value ``x^T Q x``)
+``ising``   min              ±1 spins (value ``energy + offset``)
+``maxcut``  max              ±1 assignment (value = cut weight)
+``maxdicut`` max             0/1 indicator of S (value = out-weight)
+``max2sat`` max              boolean assignment (value = satisfied weight)
+========== ================ ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.max2sat import Max2SatInstance, satisfied_clauses
+from repro.algorithms.maxdicut import DirectedGraph, dicut_value
+from repro.cuts.cut import cut_weight, spins_from_bits
+from repro.graphs.graph import Graph
+from repro.ising.model import IsingModel, ising_energy
+from repro.problems.base import Problem
+from repro.utils.validation import (
+    ValidationError,
+    check_binary_vector,
+    check_finite,
+    check_spin_vector,
+    check_square_matrix,
+)
+
+__all__ = [
+    "Qubo",
+    "IsingProblem",
+    "MaxCutProblem",
+    "MaxDiCutProblem",
+    "MaxTwoSatProblem",
+    "qubo_to_ising",
+    "ising_to_qubo",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class Qubo(Problem):
+    """Quadratic unconstrained binary optimisation: minimise ``x^T Q x``.
+
+    ``matrix`` need not be symmetric (only the symmetric part matters for
+    the objective) and its diagonal carries the linear terms, as usual for
+    QUBO tool-chains targeting annealing hardware.
+    """
+
+    matrix: np.ndarray
+
+    kind = "qubo"
+    direction = "min"
+
+    def __post_init__(self) -> None:
+        matrix = check_square_matrix(
+            np.asarray(self.matrix, dtype=np.float64), "matrix"
+        )
+        check_finite(matrix, "matrix")
+        if matrix.shape[0] < 1:
+            raise ValidationError("QUBO instances need at least one variable")
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def objective(self, solution: np.ndarray) -> float:
+        x = check_binary_vector(solution, self.n_variables, "x").astype(np.float64)
+        return float(x @ self.matrix @ x)
+
+    def solution_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return check_binary_vector(bits, self.n_variables, "bits")
+
+    def to_ising(self) -> "IsingProblem":
+        """The equivalent Ising problem under ``x = (1 + s) / 2``."""
+        return qubo_to_ising(self)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "matrix": self.matrix.tolist()}
+
+
+@dataclass(frozen=True, eq=False)
+class IsingProblem(Problem):
+    """Weighted Ising instance: minimise ``H(s) = sum J ss + sum h s + offset``.
+
+    Wraps :class:`repro.ising.model.IsingModel`; unlike the MAXCUT-derived
+    models of :func:`repro.ising.model.maxcut_to_ising`, instances here may
+    carry nonzero external ``fields`` — the compiler handles them with the
+    standard ancilla-spin gadget — and the model's ``offset`` is read as the
+    constant term of the Hamiltonian.
+    """
+
+    model: IsingModel
+
+    kind = "ising"
+    direction = "min"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, IsingModel):
+            raise ValidationError(
+                f"model must be an IsingModel, got {type(self.model).__name__}"
+            )
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.model.n_spins)
+
+    @property
+    def has_fields(self) -> bool:
+        """Whether any external field is nonzero (ancilla gadget needed)."""
+        return bool(self.model.fields.size and np.any(self.model.fields != 0.0))
+
+    def objective(self, solution: np.ndarray) -> float:
+        spins = check_spin_vector(solution, self.n_variables, "spins")
+        return float(ising_energy(self.model, spins) + self.model.offset)
+
+    def solution_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return spins_from_bits(check_binary_vector(bits, self.n_variables, "bits"))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "n_spins": self.n_variables,
+            "edges": self.model.edges.tolist(),
+            "couplings": self.model.couplings.tolist(),
+            "fields": self.model.fields.tolist(),
+            "offset": float(self.model.offset),
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class MaxCutProblem(Problem):
+    """MAXCUT itself — the identity compilation (useful as the IR's anchor)."""
+
+    graph: Graph
+
+    kind = "maxcut"
+    direction = "max"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, Graph):
+            raise ValidationError(
+                f"graph must be a Graph, got {type(self.graph).__name__}"
+            )
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.graph.n_vertices)
+
+    def objective(self, solution: np.ndarray) -> float:
+        return cut_weight(self.graph, solution)
+
+    def solution_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return spins_from_bits(check_binary_vector(bits, self.n_variables, "bits"))
+
+    def to_dict(self) -> dict:
+        edges = [
+            [int(u), int(v), float(w)]
+            for (u, v), w in zip(self.graph.edges, self.graph.edge_weights)
+        ]
+        return {
+            "kind": self.kind,
+            "n_vertices": self.n_variables,
+            "edges": edges,
+            "name": self.graph.name,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class MaxDiCutProblem(Problem):
+    """Maximum directed cut: maximise the weight of arcs leaving S."""
+
+    digraph: DirectedGraph
+
+    kind = "maxdicut"
+    direction = "max"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.digraph, DirectedGraph):
+            raise ValidationError(
+                f"digraph must be a DirectedGraph, got {type(self.digraph).__name__}"
+            )
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.digraph.n_vertices)
+
+    def objective(self, solution: np.ndarray) -> float:
+        return dicut_value(self.digraph, np.asarray(solution))
+
+    def solution_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return check_binary_vector(bits, self.n_variables, "in_set")
+
+    def to_dict(self) -> dict:
+        arcs = [
+            [int(u), int(v), float(w)]
+            for (u, v), w in zip(self.digraph.arcs, self.digraph.arc_weights)
+        ]
+        return {
+            "kind": self.kind,
+            "n_vertices": self.n_variables,
+            "arcs": arcs,
+            "name": self.digraph.name,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class MaxTwoSatProblem(Problem):
+    """Weighted MAX2SAT: maximise the total weight of satisfied clauses."""
+
+    instance: Max2SatInstance
+
+    kind = "max2sat"
+    direction = "max"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instance, Max2SatInstance):
+            raise ValidationError(
+                f"instance must be a Max2SatInstance, "
+                f"got {type(self.instance).__name__}"
+            )
+
+    @property
+    def n_variables(self) -> int:
+        return int(self.instance.n_variables)
+
+    def objective(self, solution: np.ndarray) -> float:
+        return satisfied_clauses(self.instance, np.asarray(solution))
+
+    def solution_from_bits(self, bits: np.ndarray) -> np.ndarray:
+        return check_binary_vector(bits, self.n_variables, "bits").astype(bool)
+
+    def to_dict(self) -> dict:
+        clauses = [
+            [int(c.literal1), int(c.literal2), float(c.weight)]
+            for c in self.instance.clauses
+        ]
+        return {
+            "kind": self.kind,
+            "n_variables": self.n_variables,
+            "clauses": clauses,
+        }
+
+
+# ---------------------------------------------------------------------------
+# QUBO ↔ Ising linear maps (x = (1 + s) / 2)
+# ---------------------------------------------------------------------------
+
+
+def qubo_to_ising(qubo: Qubo) -> IsingProblem:
+    """The exact Ising equivalent of a QUBO instance.
+
+    Substituting ``x_i = (1 + s_i) / 2`` into ``x^T Q x`` gives, for every
+    assignment, ``x^T Q x = sum J_ij s_i s_j + sum h_i s_i + c`` with
+
+    ``q_ij = Q_ij + Q_ji``, ``J_ij = q_ij / 4``,
+    ``h_i = Q_ii / 2 + sum_{j != i} q_ij / 4``,
+    ``c = sum_i Q_ii / 2 + sum_{i<j} q_ij / 4``,
+
+    so the returned model's ``offset`` carries the constant and
+    ``IsingProblem.objective`` equals ``Qubo.objective`` on corresponding
+    solutions — exactly, per assignment.
+    """
+    Q = qubo.matrix
+    n = qubo.n_variables
+    diagonal = np.diag(Q).copy()
+    pair = Q + Q.T
+    np.fill_diagonal(pair, 0.0)
+    fields = diagonal / 2.0 + pair.sum(axis=1) / 4.0
+    iu, ju = np.triu_indices(n, k=1)
+    mask = pair[iu, ju] != 0.0
+    edges = np.stack([iu[mask], ju[mask]], axis=1).astype(np.int64)
+    couplings = pair[iu[mask], ju[mask]] / 4.0
+    constant = float(diagonal.sum() / 2.0 + pair[iu, ju].sum() / 4.0)
+    return IsingProblem(IsingModel(
+        n_spins=n,
+        edges=edges,
+        couplings=couplings,
+        fields=fields,
+        offset=constant,
+    ))
+
+
+def ising_to_qubo(problem: IsingProblem) -> Tuple[Qubo, float]:
+    """The QUBO equivalent of an Ising problem, plus its residual constant.
+
+    Returns ``(qubo, constant)`` such that for every spin assignment ``s``
+    and its bit image ``x = (1 + s) / 2``::
+
+        problem.objective(s) == qubo.objective(x) + constant
+
+    (a QUBO matrix cannot absorb an arbitrary constant, so it is returned
+    separately).  Inverse of :func:`qubo_to_ising` up to that constant.
+    """
+    model = problem.model
+    n = model.n_spins
+    Q = np.zeros((n, n))
+    row_coupling = np.zeros(n)
+    if model.n_couplings:
+        u, v = model.edges[:, 0], model.edges[:, 1]
+        # np.add.at, not fancy-indexed +=: IsingModel permits repeated
+        # (u, v) pairs, whose couplings must accumulate like ising_energy's.
+        np.add.at(Q, (u, v), 4.0 * model.couplings)
+        np.add.at(row_coupling, u, model.couplings)
+        np.add.at(row_coupling, v, model.couplings)
+    diagonal = 2.0 * model.fields - 2.0 * row_coupling
+    Q[np.arange(n), np.arange(n)] = diagonal
+    # Constant the QUBO form produces on its own (see qubo_to_ising); the
+    # residual is whatever of the Ising constant it misses.
+    produced = float(diagonal.sum() / 2.0 + model.couplings.sum())
+    constant = float(model.offset) - produced
+    return Qubo(matrix=Q), constant

@@ -1,0 +1,150 @@
+"""``ProblemSource``: the problem-instance counterpart of ``GraphSource``.
+
+A :class:`ProblemSource` *is a* :class:`repro.workloads.spec.GraphSource`
+(``WorkloadSpec.graphs`` accepts it unchanged), but it is declared over
+problem instances: ``build`` compiles them to MAXCUT through
+:func:`repro.problems.compile.compile_to_maxcut` (certified per instance),
+and ``build_problems`` hands back the native instances.  Two kinds:
+
+``"suite"``
+    A named problem suite (:mod:`repro.problems.suites`).  Persistable —
+    this is the form ``repro merge`` rebuilds from a shard manifest.
+``"explicit"``
+    An in-memory list of :class:`~repro.problems.base.Problem` instances
+    (like explicit graph lists, not persistable beyond names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.problems.base import Problem
+from repro.problems.compile import CompiledGraph, compile_to_maxcut
+from repro.problems.suites import (
+    ProblemSuite,
+    build_problem_suite,
+    compiled_problem_graphs,
+    get_problem_suite,
+)
+from repro.utils.validation import ValidationError
+from repro.workloads.spec import GraphSource
+
+__all__ = ["ProblemSource"]
+
+#: Kinds a problem source supports (a strict subset of graph-source kinds).
+PROBLEM_SOURCE_KINDS = ("suite", "explicit")
+
+
+@dataclass(frozen=True)
+class ProblemSource(GraphSource):
+    """Declarative source of problem instances, lowered to MAXCUT on build."""
+
+    problems: Tuple[Problem, ...] = ()
+
+    def validate(self) -> None:
+        if self.kind not in PROBLEM_SOURCE_KINDS:
+            raise ValidationError(
+                f"problem source kind must be one of {PROBLEM_SOURCE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "suite":
+            if not (isinstance(self.suite, (str, ProblemSuite))):
+                raise ValidationError(
+                    "suite problem sources need a problem-suite key or a "
+                    f"ProblemSuite, got {type(self.suite).__name__}"
+                )
+        if self.kind == "explicit":
+            if not self.problems:
+                raise ValidationError(
+                    "explicit problem sources need at least one problem"
+                )
+            for problem in self.problems:
+                if not isinstance(problem, Problem):
+                    raise ValidationError(
+                        f"explicit problem sources hold Problem instances, "
+                        f"got {type(problem).__name__}"
+                    )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_suite(cls, suite) -> "ProblemSource":
+        """A named problem suite (or a ``ProblemSuite`` instance)."""
+        return cls(kind="suite", suite=suite)
+
+    @classmethod
+    def explicit(cls, problems: Sequence[Problem]) -> "ProblemSource":
+        """An in-memory list of problem instances."""
+        return cls(kind="explicit", problems=tuple(problems))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProblemSource":
+        """Rebuild a source from its :meth:`to_dict` form (manifest round-trip)."""
+        kind = data.get("kind")
+        if kind == "suite":
+            return cls.from_suite(str(data["suite"]))
+        raise ValidationError(
+            f"problem source kind {kind!r} cannot be rebuilt from a dict "
+            f"(explicit problem lists are not persistable)"
+        )
+
+    # -- behaviour ----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        if self.kind == "suite":
+            return self.suite if isinstance(self.suite, str) else self.suite.key
+        return "problems"
+
+    @property
+    def problem_kind(self) -> str:
+        """Problem class of the source's instances (homogeneous by contract)."""
+        if self.kind == "suite":
+            suite = (
+                get_problem_suite(self.suite)
+                if isinstance(self.suite, str) else self.suite
+            )
+            return suite.kind
+        kinds = {problem.kind for problem in self.problems}
+        if len(kinds) != 1:
+            raise ValidationError(
+                f"explicit problem sources must be homogeneous, got kinds {sorted(kinds)}"
+            )
+        return next(iter(kinds))
+
+    def build_problems(self, seed: Optional[int]) -> List[Problem]:
+        """Materialise the native problem instances (deterministic in *seed*)."""
+        root = 0 if seed is None else int(seed)
+        if self.kind == "suite":
+            if isinstance(self.suite, str):
+                return build_problem_suite(self.suite, seed=root)
+            return list(self.suite.build(root))
+        return list(self.problems)
+
+    def build(self, seed: Optional[int]) -> List[CompiledGraph]:
+        """Compile the instances to certified MAXCUT graphs."""
+        root = 0 if seed is None else int(seed)
+        if self.kind == "suite":
+            # The exact compilation path of the suite's registered graph
+            # twin, so either spelling of the source builds byte-identical
+            # graphs (shard-merge bit-identity).
+            return compiled_problem_graphs(self.suite, seed=root)
+        graphs = []
+        for j, problem in enumerate(self.problems):
+            graph, _ = compile_to_maxcut(
+                problem, name=f"{problem.kind}-{j}-n{problem.n_variables}",
+            )
+            graphs.append(graph)
+        return graphs
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "problems": True}
+        if self.kind == "suite":
+            out["suite"] = self.label
+        else:
+            out["names"] = [
+                f"{problem.kind}-{j}-n{problem.n_variables}"
+                for j, problem in enumerate(self.problems)
+            ]
+        return out

@@ -45,13 +45,27 @@ from repro.workloads.session import PlanStep, RunPlan, Session, run_workload
 from repro.workloads.executor import execute_spec
 from repro.workloads import paper as _paper  # registers the five paper workloads
 from repro.workloads import bench as _bench  # registers the bench workload
+from repro.workloads import problems as _problems  # registers the problems workload
 from repro.workloads.bench import BenchRecord, check_baseline
 from repro.workloads.paper import arena_result_from_report
+
+
+def __getattr__(name):
+    # ProblemSource joins GraphSource as a spec-level source, but it lives in
+    # repro.problems (which imports repro.workloads.spec) — resolving it
+    # lazily keeps the package importable from either direction.
+    if name == "ProblemSource":
+        from repro.problems.source import ProblemSource
+
+        return ProblemSource
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Budget",
     "ExecutionPolicy",
     "GraphSource",
+    "ProblemSource",
     "WorkloadSpec",
     "RunReport",
     "WorkloadOutcome",

@@ -14,6 +14,13 @@ baseline (``benchmarks/baseline.json``):
     A sharded in-memory arena run (:mod:`repro.distrib`) vs the same spec
     run monolithically.  ``speedup`` here is mono/sharded wall time — it
     measures *sharding overhead* (expected near, and allowed below, 1).
+``problems-compile``
+    The problem-compiler path (compile a QUBO instance to MAXCUT + solve +
+    lift + certificate, :mod:`repro.problems`) vs solving the pre-compiled
+    graph directly with the same solver and seeds.  ``speedup`` is
+    direct/compiled wall time — it measures *reduction-path overhead*
+    (expected near, and allowed below, 1), and its floor catches
+    regressions in the compile/lift/certificate hot path.
 
 Each scenario is one shard unit, so the bench workload itself shards and
 resumes like everything else.  Results are :class:`BenchRecord` rows — a
@@ -100,6 +107,7 @@ def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
     """The scenario keys of one bench run (also its shard units)."""
     scenarios = [(f"engine:{circuit}",) for circuit in _ENGINE_CIRCUITS]
     scenarios.append(("sharded:arena",))
+    scenarios.append(("problems-compile",))
     return scenarios
 
 
@@ -215,12 +223,75 @@ def _run_sharded_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
+def _run_problems_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.algorithms.registry import get_solver
+    from repro.problems import compile_to_maxcut, random_problem, verify_certificate
+    from repro.problems.base import CertificateError
+
+    # A mid-sized QUBO sized like the bench suite's largest graph; annealing
+    # is the solver on both paths (cheap, weight-sign agnostic, sweep-budgeted),
+    # so the measured gap is purely the compile + lift + certificate overhead.
+    n = _bench_graph(spec).n_vertices
+    n_trials = spec.budget.n_trials
+    n_samples = spec.budget.n_samples
+    seed = spec.seed
+    problem = random_problem("qubo", seed=seed, n_variables=n)
+    solver = get_solver("annealing")
+    reference_graph, _ = compile_to_maxcut(problem, verify=False)
+
+    started = time.perf_counter()
+    direct_weights = [
+        float(solver(reference_graph, n_samples=n_samples, seed=seed + t).weight)
+        for t in range(n_trials)
+    ]
+    direct_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    compiled_weights = []
+    certified = True
+    for t in range(n_trials):
+        graph, lifter = compile_to_maxcut(problem, seed=seed)
+        cut = solver(graph, n_samples=n_samples, seed=seed + t)
+        try:
+            # Lifts the solved assignment internally — the per-solve
+            # decode + certificate cost this scenario exists to measure.
+            verify_certificate(
+                problem, graph, lifter, assignment=cut.assignment, seed=seed
+            )
+        except CertificateError:
+            certified = False
+        compiled_weights.append(float(cut.weight))
+    compiled_elapsed = time.perf_counter() - started
+
+    return {
+        "scenario": "problems-compile",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(compiled_elapsed),
+        "baseline_seconds": float(direct_elapsed),
+        "speedup": float(direct_elapsed / compiled_elapsed)
+                   if compiled_elapsed > 0 else float("inf"),
+        "detail": {
+            "problem": problem.kind,
+            "n_variables": int(problem.n_variables),
+            "n_trials": int(n_trials),
+            "n_samples": int(n_samples),
+            "compiled_vertices": int(reference_graph.n_vertices),
+            "compiled_edges": int(reference_graph.n_edges),
+            "results_match": bool(
+                certified and direct_weights == compiled_weights
+            ),
+        },
+    }
+
+
 def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
     """Run one bench scenario and return its JSON-safe measurement payload."""
     if scenario.startswith("engine:"):
         return _run_engine_scenario(spec, scenario.split(":", 1)[1])
     if scenario == "sharded:arena":
         return _run_sharded_scenario(spec)
+    if scenario == "problems-compile":
+        return _run_problems_scenario(spec)
     raise ValidationError(f"unknown bench scenario {scenario!r}")
 
 

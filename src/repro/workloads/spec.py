@@ -141,7 +141,14 @@ class GraphSource(ValidatedConfig):
 
         Explicit in-memory graph lists are not persistable — their
         ``to_dict`` records names only — so they cannot be rebuilt.
+        Problem sources (:class:`repro.problems.source.ProblemSource`
+        renderings carry a ``"problems": true`` marker) dispatch to the
+        problem-compiler subclass.
         """
+        if data.get("problems"):
+            from repro.problems.source import ProblemSource
+
+            return ProblemSource.from_dict(data)
         kind = data.get("kind")
         if kind == "suite":
             return cls.from_suite(str(data["suite"]))

@@ -19,6 +19,10 @@ from repro.cuts.exact import exact_maxcut_value
 from repro.graphs.generators import erdos_renyi
 from repro.utils.validation import ValidationError
 
+# Registers the problem-native solvers (maxdicut_gw, max2sat_gw) so the
+# registry contents below do not depend on test collection order.
+import repro.problems  # noqa: F401  (registration side effect)
+
 
 class TestTrevisanSpectralBaseline:
     def test_returns_cut(self, small_er_graph):
@@ -98,6 +102,7 @@ class TestSolverSpecs:
         assert set(SOLVER_SPECS) == {
             "lif_gw", "lif_tr", "gw", "trevisan", "random",
             "annealing", "tempering", "local_search",
+            "maxdicut_gw", "max2sat_gw",
         }
 
     def test_specs_carry_capability_metadata(self):

@@ -171,7 +171,10 @@ class TestBenchCommand:
         assert payload["experiment"] == "bench"
         assert payload["config"]["metadata"]["schema"] == "repro-bench/v1"
         scenarios = {r["scenario"] for r in payload["results"]}
-        assert scenarios == {"engine:lif_gw", "engine:lif_tr", "sharded:arena"}
+        assert scenarios == {
+            "engine:lif_gw", "engine:lif_tr", "sharded:arena",
+            "problems-compile",
+        }
 
     def test_check_passes_against_committed_baseline(self, bench_run, capsys):
         argv, _ = bench_run

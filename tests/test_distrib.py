@@ -60,6 +60,10 @@ WORKLOAD_PARAMS = {
     "ablation": dict(
         kind="learning-rate", vertices=12, samples=8, n_graphs=2, seed=0,
     ),
+    "problems": dict(
+        problem="2sat", solvers=("random", "annealing", "max2sat_gw"),
+        trials=2, samples=8, seed=0,
+    ),
 }
 
 

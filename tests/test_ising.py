@@ -30,6 +30,41 @@ class TestIsingModel:
         assert ising_energy(model, spins) == pytest.approx(1.5)
         assert cut_weight_from_spins(model, spins) == pytest.approx(0.0)
 
+    def test_cut_weight_round_trip_on_weighted_graph(self, rng):
+        """The cut identity holds edge-for-edge on non-unit weights too."""
+        graph = Graph(
+            8,
+            [
+                (0, 1, 0.25), (1, 2, 3.5), (2, 3, 1.75), (3, 4, 0.5),
+                (4, 5, 2.25), (5, 6, 0.125), (6, 7, 4.0), (0, 7, 1.5),
+                (1, 6, 2.5), (2, 5, 0.75),
+            ],
+            name="weighted",
+        )
+        model = maxcut_to_ising(graph)
+        assert model.offset == pytest.approx(graph.total_weight / 2.0)
+        for _ in range(25):
+            spins = np.where(rng.random(8) < 0.5, 1, -1).astype(np.int8)
+            assert cut_weight_from_spins(model, spins) == pytest.approx(
+                cut_weight(graph, spins)
+            )
+
+    def test_cut_weight_from_spins_rejects_nonzero_fields(self, triangle):
+        """A field-carrying model would silently drop the field term."""
+        base = maxcut_to_ising(triangle)
+        model = IsingModel(
+            n_spins=base.n_spins,
+            edges=base.edges,
+            couplings=base.couplings,
+            fields=np.array([0.0, 1.0, 0.0]),
+            offset=base.offset,
+        )
+        spins = np.ones(3, dtype=np.int8)
+        with pytest.raises(ValidationError, match="zero external fields"):
+            cut_weight_from_spins(model, spins)
+        # The zero-field model stays valid, and the compiler handles fields.
+        assert cut_weight_from_spins(base, spins) == pytest.approx(0.0)
+
     def test_coupling_matrix_symmetric(self, small_er_graph):
         J = maxcut_to_ising(small_er_graph).coupling_matrix()
         np.testing.assert_allclose(J, J.T)

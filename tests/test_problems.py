@@ -1,0 +1,375 @@
+"""Tests for the problem compiler (``repro.problems``).
+
+The load-bearing contract: every gadget reduction is exact **per
+assignment** — lifting any cut of the compiled graph yields a native
+solution whose objective is the lifter's affine function of the cut weight —
+and therefore exact at the optimum: brute-forcing the native problem and
+exactly solving the compiled MAXCUT instance (``cuts/exact.py``) agree, for
+random instances of every problem class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.max2sat import Clause, Max2SatInstance, random_max2sat_instance
+from repro.algorithms.maxdicut import DirectedGraph, random_digraph
+from repro.algorithms.registry import get_spec, get_solver, solvers_for_problem
+from repro.cuts.cut import cut_weight
+from repro.cuts.exact import exact_maxcut
+from repro.graphs.generators import erdos_renyi
+from repro.ising.model import IsingModel
+from repro.problems import (
+    Certificate,
+    CertificateError,
+    CompiledGraph,
+    IsingProblem,
+    MaxCutProblem,
+    MaxDiCutProblem,
+    MaxTwoSatProblem,
+    ProblemSource,
+    Qubo,
+    brute_force,
+    build_problem_suite,
+    compile_to_maxcut,
+    compiled_problem_graphs,
+    ising_to_qubo,
+    list_problem_suites,
+    load_problem,
+    problem_from_dict,
+    qubo_to_ising,
+    random_problem,
+    save_problem,
+    verify_certificate,
+)
+from repro.utils.rng import paired_seed
+from repro.utils.validation import ValidationError
+
+
+def _random_instance(kind, seed, n=9):
+    """A small random instance of *kind* (n kept brute-forceable)."""
+    rng = np.random.default_rng(seed)
+    if kind == "qubo":
+        return Qubo(rng.normal(size=(n, n)))
+    if kind == "ising":
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < 0.5
+        return IsingProblem(IsingModel(
+            n_spins=n,
+            edges=np.stack([iu[mask], ju[mask]], axis=1),
+            couplings=rng.normal(size=int(mask.sum())),
+            fields=rng.normal(size=n) * 0.5,
+            offset=float(rng.normal()),
+        ))
+    if kind == "maxcut":
+        return MaxCutProblem(erdos_renyi(n, 0.5, seed=int(seed)))
+    if kind == "maxdicut":
+        return MaxDiCutProblem(
+            random_digraph(n, 0.3, seed=int(seed), weighted=True)
+        )
+    assert kind == "max2sat"
+    return MaxTwoSatProblem(
+        random_max2sat_instance(n, 3 * n, seed=int(seed), weighted=True)
+    )
+
+
+ALL_KINDS = ("qubo", "ising", "maxcut", "maxdicut", "max2sat")
+
+
+class TestValuePreservation:
+    """Reduce → solve exactly → lift: native optimum is preserved, per kind."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_solve_lifts_to_native_optimum(self, kind, seed):
+        problem = _random_instance(kind, seed)
+        graph, lifter = compile_to_maxcut(problem, seed=seed)
+        assert isinstance(graph, CompiledGraph)
+        assert graph.problem is problem and graph.lifter is lifter
+
+        best_cut = exact_maxcut(graph)
+        lifted = lifter.lift(best_cut.assignment)
+        lifted_value = problem.objective(lifted)
+        # The affine identity at the optimum...
+        assert lifted_value == pytest.approx(
+            lifter.native_value(best_cut.weight), abs=1e-9
+        )
+        # ...and agreement with the native brute-force optimum.
+        _, native_best = brute_force(problem)
+        assert lifted_value == pytest.approx(native_best, abs=1e-9)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_affine_identity_holds_for_every_assignment(self, kind):
+        problem = _random_instance(kind, seed=7, n=8)
+        graph, lifter = compile_to_maxcut(problem, seed=7)
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            assignment = (2 * rng.integers(0, 2, graph.n_vertices) - 1).astype(np.int8)
+            native = problem.objective(lifter.lift(assignment))
+            assert native == pytest.approx(
+                lifter.native_value(cut_weight(graph, assignment)), abs=1e-9
+            )
+            # embed(lift(.)) preserves the cut weight (sign-symmetry aside).
+            round_trip = lifter.embed(lifter.lift(assignment))
+            assert cut_weight(graph, round_trip) == pytest.approx(
+                cut_weight(graph, assignment), abs=1e-9
+            )
+
+    def test_unit_and_degenerate_clauses(self):
+        """Unit clauses, duplicated literals, and tautologies compile exactly."""
+        instance = Max2SatInstance(3, (
+            Clause(1, 2, 1.5),     # regular
+            Clause(-2, 0, 2.0),    # unit
+            Clause(3, 3, 0.5),     # duplicated literal == unit
+            Clause(1, -1, 4.0),    # tautology: constant
+        ))
+        problem = MaxTwoSatProblem(instance)
+        graph, lifter = compile_to_maxcut(problem, n_probes=16, seed=0)
+        _, native_best = brute_force(problem)
+        best = exact_maxcut(graph)
+        assert problem.objective(lifter.lift(best.assignment)) == pytest.approx(
+            native_best
+        )
+
+    def test_fieldless_ising_compiles_without_ancilla(self):
+        model = IsingModel(
+            n_spins=4,
+            edges=np.array([[0, 1], [1, 2], [2, 3]]),
+            couplings=np.array([1.0, -2.0, 0.5]),
+            fields=np.zeros(4),
+            offset=0.25,
+        )
+        graph, lifter = compile_to_maxcut(IsingProblem(model))
+        assert graph.n_vertices == 4  # no ancilla spin
+        spins = np.array([1, -1, 1, 1], dtype=np.int8)
+        assert np.array_equal(lifter.lift(spins), spins)
+
+    def test_field_carrying_ising_uses_ancilla_gadget(self):
+        problem = _random_instance("ising", seed=3, n=6)
+        assert problem.has_fields
+        graph, lifter = compile_to_maxcut(problem)
+        assert graph.n_vertices == 7  # ancilla spin prepended
+        # Flipping the whole assignment leaves the lifted solution's
+        # objective unchanged (the gadget's global sign symmetry).
+        rng = np.random.default_rng(0)
+        assignment = (2 * rng.integers(0, 2, 7) - 1).astype(np.int8)
+        assert problem.objective(lifter.lift(assignment)) == pytest.approx(
+            problem.objective(lifter.lift(-assignment))
+        )
+
+
+class TestQuboIsingMaps:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_qubo_to_ising_exact_per_assignment(self, seed):
+        qubo = _random_instance("qubo", seed)
+        ising = qubo_to_ising(qubo)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(25):
+            bits = rng.integers(0, 2, qubo.n_variables).astype(np.int8)
+            spins = (2 * bits - 1).astype(np.int8)
+            assert qubo.objective(bits) == pytest.approx(
+                ising.objective(spins), abs=1e-9
+            )
+
+    def test_ising_to_qubo_accumulates_duplicate_couplings(self):
+        # IsingModel permits repeated (u, v) pairs; their couplings must
+        # accumulate exactly as ising_energy does.
+        model = IsingModel(
+            n_spins=2,
+            edges=np.array([[0, 1], [0, 1]]),
+            couplings=np.array([1.0, 1.0]),
+            fields=np.zeros(2),
+            offset=0.0,
+        )
+        ising = IsingProblem(model)
+        qubo, constant = ising_to_qubo(ising)
+        for bits in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            bits = np.asarray(bits, dtype=np.int8)
+            spins = (2 * bits - 1).astype(np.int8)
+            assert ising.objective(spins) == pytest.approx(
+                qubo.objective(bits) + constant
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_ising_to_qubo_round_trip(self, seed):
+        ising = _random_instance("ising", seed, n=7)
+        qubo, constant = ising_to_qubo(ising)
+        rng = np.random.default_rng(seed + 200)
+        for _ in range(25):
+            bits = rng.integers(0, 2, 7).astype(np.int8)
+            spins = (2 * bits - 1).astype(np.int8)
+            assert ising.objective(spins) == pytest.approx(
+                qubo.objective(bits) + constant, abs=1e-9
+            )
+
+
+class TestCertificates:
+    def test_compile_certifies_by_default(self):
+        problem = _random_instance("qubo", 0)
+        graph, lifter = compile_to_maxcut(problem)
+        certificate = verify_certificate(problem, graph, lifter, n_probes=5)
+        assert isinstance(certificate, Certificate)
+        assert certificate.kind == "qubo"
+        assert certificate.n_probes == 5
+        assert certificate.max_abs_error < 1e-8
+
+    def test_tampered_lifter_fails_certification(self):
+        import dataclasses
+
+        problem = _random_instance("maxdicut", 1)
+        graph, lifter = compile_to_maxcut(problem)
+        broken = dataclasses.replace(lifter, value_offset=lifter.value_offset + 1.0)
+        with pytest.raises(CertificateError, match="value preservation"):
+            verify_certificate(problem, graph, broken)
+
+    def test_certificate_records_solved_assignment(self):
+        problem = _random_instance("max2sat", 2)
+        graph, lifter = compile_to_maxcut(problem)
+        best = exact_maxcut(graph)
+        certificate = verify_certificate(
+            problem, graph, lifter, assignment=best.assignment
+        )
+        assert certificate.cut_weight == pytest.approx(best.weight)
+        assert certificate.native_value == pytest.approx(
+            lifter.native_value(best.weight)
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="expects a Problem"):
+            compile_to_maxcut(object())
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_round_trip_preserves_objective(self, kind, tmp_path):
+        problem = _random_instance(kind, 4, n=7)
+        path = tmp_path / f"{kind}.json"
+        save_problem(path, problem)
+        loaded = load_problem(path)
+        assert loaded.kind == problem.kind
+        assert loaded.n_variables == problem.n_variables
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            bits = rng.integers(0, 2, 7).astype(np.int8)
+            assert loaded.objective(
+                loaded.solution_from_bits(bits)
+            ) == pytest.approx(problem.objective(problem.solution_from_bits(bits)))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValidationError, match="unknown problem kind"):
+            problem_from_dict({"kind": "sudoku"})
+
+
+class TestSuitesAndSources:
+    def test_builtin_suites_registered_beside_graph_suites(self):
+        from repro.arena.suite import list_suites
+
+        for key in ("qubo-small", "ising-small", "dicut-small", "2sat-small"):
+            assert key in list_problem_suites()
+            assert key in list_suites()  # the compiled twin
+
+    def test_suites_are_seed_deterministic(self):
+        for key in list_problem_suites():
+            first = compiled_problem_graphs(key, seed=5)
+            second = compiled_problem_graphs(key, seed=5)
+            other = compiled_problem_graphs(key, seed=6)
+            assert [g.name for g in first] == [g.name for g in second]
+            for a, b in zip(first, second):
+                assert np.array_equal(a.edges, b.edges)
+                assert np.array_equal(a.edge_weights, b.edge_weights)
+            assert any(
+                not np.array_equal(a.edge_weights, c.edge_weights)
+                or not np.array_equal(a.edges, c.edges)
+                for a, c in zip(first, other)
+            )
+
+    def test_problem_source_builds_compiled_graphs(self):
+        source = ProblemSource.from_suite("qubo-small")
+        assert source.problem_kind == "qubo"
+        problems = source.build_problems(0)
+        graphs = source.build(0)
+        assert len(problems) == len(graphs) == 3
+        assert all(isinstance(g, CompiledGraph) for g in graphs)
+        # Identical to the registered graph-suite twin's build.
+        twin = compiled_problem_graphs("qubo-small", seed=0)
+        assert [g.name for g in graphs] == [g.name for g in twin]
+
+    def test_problem_source_round_trips_through_dict(self):
+        source = ProblemSource.from_suite("dicut-small")
+        rebuilt = ProblemSource.from_dict(source.to_dict())
+        assert rebuilt == source
+        # The GraphSource entry point dispatches on the marker.
+        from repro.workloads.spec import GraphSource
+
+        assert GraphSource.from_dict(source.to_dict()) == source
+
+    def test_explicit_problem_source(self):
+        problems = [_random_instance("max2sat", s, n=6) for s in (0, 1)]
+        source = ProblemSource.explicit(problems)
+        assert source.problem_kind == "max2sat"
+        assert len(source.build(0)) == 2
+        with pytest.raises(ValidationError, match="not persistable"):
+            ProblemSource.from_dict(source.to_dict())
+
+    def test_random_problem_matches_paired_convention(self):
+        a = random_problem("dicut", seed=3, n_variables=8)
+        b = random_problem("maxdicut", seed=3, n_variables=8)
+        assert np.array_equal(a.digraph.arcs, b.digraph.arcs)
+        assert np.array_equal(a.digraph.arc_weights, b.digraph.arc_weights)
+        c = random_problem("dicut", seed=4, n_variables=8)
+        assert not (
+            a.digraph.n_arcs == c.digraph.n_arcs
+            and np.array_equal(a.digraph.arcs, c.digraph.arcs)
+            and np.array_equal(a.digraph.arc_weights, c.digraph.arc_weights)
+        )
+
+
+class TestGenerators:
+    def test_random_digraph_deterministic_under_paired_seed(self):
+        seed = paired_seed(0, 2_000_003, 3, 0)
+        a = random_digraph(10, 0.3, seed=seed, weighted=True)
+        b = random_digraph(10, 0.3, seed=paired_seed(0, 2_000_003, 3, 0), weighted=True)
+        assert np.array_equal(a.arcs, b.arcs)
+        assert np.array_equal(a.arc_weights, b.arc_weights)
+
+    def test_random_digraph_validation(self):
+        with pytest.raises(ValidationError):
+            random_digraph(0, 0.5)
+        with pytest.raises(ValidationError):
+            random_digraph(5, 1.5)
+
+    def test_random_max2sat_weighted(self):
+        instance = random_max2sat_instance(6, 12, seed=0, weighted=True)
+        weights = [c.weight for c in instance.clauses]
+        assert all(0.5 <= w < 1.5 for w in weights)
+        assert len(set(weights)) > 1
+
+
+class TestNativeSolvers:
+    def test_registered_with_problem_classes(self):
+        assert solvers_for_problem("maxdicut") == ["maxdicut_gw"]
+        assert solvers_for_problem("max2sat") == ["max2sat_gw"]
+        assert solvers_for_problem("ising") == ["annealing", "tempering"]
+        assert get_spec("ising.annealing").key == "annealing"
+        assert get_spec("ising.tempering").key == "tempering"
+
+    @pytest.mark.parametrize("kind,solver", [
+        ("maxdicut", "maxdicut_gw"), ("max2sat", "max2sat_gw"),
+    ])
+    def test_native_solver_scores_in_cut_currency(self, kind, solver):
+        problem = _random_instance(kind, 5, n=8)
+        graph, lifter = compile_to_maxcut(problem)
+        cut = get_solver(solver)(graph, n_samples=24, seed=0)
+        # The embedded cut's weight is the native objective mapped through
+        # the lifter — the shared leaderboard currency.
+        native = problem.objective(lifter.lift(cut.assignment))
+        assert cut.weight == pytest.approx(lifter.cut_value(native))
+
+    def test_native_solver_rejects_plain_graphs(self):
+        graph = erdos_renyi(8, 0.5, seed=0)
+        with pytest.raises(ValidationError, match="plain graph"):
+            get_solver("maxdicut_gw")(graph, n_samples=4, seed=0)
+
+    def test_native_solver_rejects_wrong_class(self):
+        graph, _ = compile_to_maxcut(_random_instance("qubo", 0, n=6))
+        with pytest.raises(ValidationError, match="compiled from a 'qubo'"):
+            get_solver("max2sat_gw")(graph, n_samples=4, seed=0)
