@@ -23,6 +23,11 @@ engine      Run trial-parallel batched circuit simulation (repro.engine):
             many independent trials of one circuit on one graph in a single
             vectorised solve, with dense/sparse weight backends and optional
             early stopping; ``--compare`` also times the sequential path.
+serve       Run the solver as a daemon (repro.serve): an async request queue
+            over HTTP or a unix socket that coalesces same-shape requests
+            into single engine batches, caches served results by content,
+            and exposes queue/batching/cache metrics on ``/stats``.
+            SIGTERM drains the queue before exiting.
 graphs      List the empirical graphs in the Table I registry.
 
 Deprecated shims (still functional, emit ``DeprecationWarning``)
@@ -239,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 disables early stopping)")
     engine.add_argument("--compare", action="store_true",
                         help="also run the sequential per-trial path and report speedup")
+
+    # serve ------------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the solver as a daemon (async queue + cross-request batching)",
+        description=(
+            "Start the solve service (repro.serve): a JSON-over-HTTP daemon "
+            "that queues solve requests (graphs, or any compiled problem "
+            "class), coalesces same-shape requests into single engine "
+            "batches, and answers bit-identically to standalone engine runs "
+            "with the same seed. GET /stats exposes queue/batching/cache "
+            "metrics. SIGTERM (or Ctrl-C) drains the queue — pending "
+            "requests finish, new admissions are refused — then exits."
+        ),
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="TCP bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 binds an ephemeral port; the bound "
+                            "port is printed either way)")
+    serve.add_argument("--socket", type=str, default=None, metavar="PATH",
+                       help="serve on an AF_UNIX socket path instead of TCP")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission limit on queued requests")
+    serve.add_argument("--batch-trials", type=int, default=64,
+                       help="trial-axis ceiling of one coalesced engine batch")
+    serve.add_argument("--max-trials", type=int, default=256,
+                       help="per-request trial budget cap")
+    serve.add_argument("--max-vertices", type=int, default=4096,
+                       help="largest admissible instance (compiled size for "
+                            "problem requests)")
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       help="default per-request queue timeout in seconds")
 
     # compare (deprecated shim for `run arena`) ------------------------------
     compare = subparsers.add_parser(
@@ -822,6 +860,59 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return _execute_workload("ablation", overrides, save=args.save)
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import ServiceConfig, SolverService, serve_http, serve_unix
+
+    try:
+        config = ServiceConfig(
+            max_queue_depth=args.max_queue,
+            max_batch_trials=args.batch_trials,
+            max_trials_per_request=args.max_trials,
+            max_request_vertices=args.max_vertices,
+            default_timeout_seconds=args.timeout,
+        )
+        service = SolverService(config)
+        if args.socket is not None:
+            server = serve_unix(service, args.socket)
+            endpoint = f"unix:{args.socket}"
+        else:
+            server = serve_http(service, host=args.host, port=args.port)
+            host, port = server.server_address[:2]
+            endpoint = f"http://{host}:{port}"
+    except (ValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Printed unconditionally (and flushed) so wrappers binding --port 0 can
+    # parse the ephemeral endpoint from the first stdout line.
+    print(f"serving on {endpoint}", flush=True)
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
+        # shutdown() blocks until serve_forever() returns, and the handler
+        # interrupts the very thread running serve_forever() — so it must be
+        # issued from a helper thread or the two deadlock.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.shutdown(drain=True)
+        stats = service.stats()
+        print(
+            f"drained: {stats['completed']} completed, "
+            f"{stats['engine']['invocations']} engine invocation(s), "
+            f"coalesce ratio {stats['engine']['coalesce_ratio']:.2f}",
+            flush=True,
+        )
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "workloads": _command_workloads,
@@ -829,6 +920,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "solve": _command_solve,
     "engine": _command_engine,
+    "serve": _command_serve,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "figure4": _command_figure4,

@@ -14,6 +14,10 @@ Public API
 :func:`register_backend` / :func:`list_backends`
     Extend or inspect the weight-application backend registry
     (``dense`` and ``sparse`` ship by default).
+:func:`coalesce_requests` / :func:`split_result`
+    Batch split/merge seams: fuse same-shape requests into one engine batch
+    and slice the result back per requester, bit-identically (the solve
+    service's cross-request batching).
 """
 
 from repro.engine.backends import (
@@ -24,6 +28,11 @@ from repro.engine.backends import (
     list_backends,
     register_backend,
     select_backend,
+)
+from repro.engine.coalesce import (
+    coalesce_requests,
+    request_trial_seeds,
+    split_result,
 )
 from repro.engine.engine import BatchedSolverEngine, sequential_solve, solve
 from repro.engine.plan import BatchPlan
@@ -44,11 +53,14 @@ __all__ = [
     "SolveResult",
     "SparseBackend",
     "WeightBackend",
+    "coalesce_requests",
     "get_backend",
     "list_backends",
     "register_backend",
+    "request_trial_seeds",
     "select_backend",
     "sequential_solve",
     "solve",
+    "split_result",
     "trial_seed_sequences",
 ]

@@ -33,8 +33,9 @@ import numpy as np
 from repro.circuits.base import NeuromorphicCircuit
 from repro.cuts.cut import BatchCutEvaluator, Cut
 from repro.engine.backends import select_backend
+from repro.engine.coalesce import request_trial_seeds as _request_trial_seeds
 from repro.engine.request import SolveRequest, SolveResult
-from repro.engine.sampler import BatchDeviceSampler, trial_seed_sequences
+from repro.engine.sampler import BatchDeviceSampler
 from repro.engine.simulator import BatchLIFSimulator
 from repro.engine.tracker import BestCutTracker
 from repro.neurons.encoding import membrane_sign_assignments, spikes_to_assignments
@@ -66,15 +67,19 @@ class BatchedSolverEngine:
         if request.n_trials == 0:
             return self._empty_result(request, circuit, backend.name, graph)
 
-        seeds = trial_seed_sequences(
-            request.seed, request.n_trials, start=request.trial_offset
-        )
+        seeds = _request_trial_seeds(request)
         sampler = BatchDeviceSampler(
             circuit.build_device_pool, seeds, n_devices=plan.n_devices
         )
         simulator = BatchLIFSimulator(backend, plan.lif, n_neurons)
         ceiling = self._cut_ceiling(graph)
-        tracker = BestCutTracker(request.early_stop, ceiling=ceiling)
+        deadline = (
+            None if request.deadline_seconds is None
+            else start + request.deadline_seconds
+        )
+        tracker = BestCutTracker(
+            request.early_stop, ceiling=ceiling, deadline=deadline
+        )
 
         trial_best_weights = np.full(request.n_trials, -np.inf)
         trial_best_assignments = np.zeros((request.n_trials, n_neurons), dtype=np.int8)
@@ -97,7 +102,9 @@ class BatchedSolverEngine:
                 allow_stop=(block_index == 0),
             )
             # The first block fixes the round count; later blocks replay it so
-            # every trial's trajectory has the same length.
+            # every trial's trajectory has the same length.  A wall-clock
+            # deadline may truncate a later block further still — the final
+            # round count is the minimum, enforced when stacking below.
             rounds_limit = completed
 
         n_rounds = rounds_limit
@@ -129,16 +136,29 @@ class BatchedSolverEngine:
             best_cut=best_cut,
             trial_best_weights=trial_best_weights,
             trial_best_assignments=trial_best_assignments,
-            trajectories=np.vstack(trajectory_blocks),
+            # Blocks are truncated to the final (minimum) round count: a
+            # deadline firing in a later block shortens rounds_limit after
+            # earlier blocks already recorded more rounds.  Their extra
+            # rounds still contributed to the per-trial bests above — the
+            # "partial but valid" contract — only the rectangular trajectory
+            # tensor drops them.
+            trajectories=np.vstack([t[:, :n_rounds] for t in trajectory_blocks]),
             early_stopped=early_stopped,
             elapsed_seconds=elapsed,
-            potentials=np.vstack(potential_blocks) if potential_blocks else None,
-            assignments=np.vstack(assignment_blocks) if assignment_blocks else None,
+            potentials=(
+                np.vstack([p[:, :n_rounds] for p in potential_blocks])
+                if potential_blocks else None
+            ),
+            assignments=(
+                np.vstack([a[:, :n_rounds] for a in assignment_blocks])
+                if assignment_blocks else None
+            ),
             metadata={
                 "n_blocks": len(blocks),
                 "n_devices": plan.n_devices,
                 "readout": plan.readout,
                 "early_stop_round": tracker.stop_round if early_stopped else None,
+                "deadline_exceeded": tracker.deadline_exceeded,
                 **plan.metadata,
             },
         )
@@ -239,7 +259,12 @@ class BatchedSolverEngine:
                 trial_best_assignments[trial_index[improved]] = assignments[improved]
 
             completed = r + 1
-            if tracker.update(r, weights) and allow_stop:
+            if tracker.update(r, weights) and (
+                allow_stop or tracker.deadline_exceeded
+            ):
+                # Plateau/ceiling stops are only honoured in the first block
+                # (later blocks replay its round count); the wall-clock
+                # deadline truncates wherever it fires.
                 break
 
         trajectory_blocks.append(trajectories[:, :completed])
@@ -330,9 +355,7 @@ def sequential_solve(request: SolveRequest) -> SolveResult:
     if request.n_trials == 0:
         return engine._empty_result(request, circuit, "sequential", graph)
 
-    seeds = trial_seed_sequences(
-        request.seed, request.n_trials, start=request.trial_offset
-    )
+    seeds = _request_trial_seeds(request)
     trajectories = np.zeros((request.n_trials, request.n_samples))
     best_weights = np.full(request.n_trials, -np.inf)
     best_assignments = np.zeros(

@@ -24,7 +24,7 @@ regardless of trial-block size or execution order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -100,6 +100,14 @@ class SolveRequest:
         for trial (used by the sharded executor, :mod:`repro.distrib`).
     seed:
         Root seed; see the module docstring for the per-trial derivation.
+    trial_seeds:
+        Optional explicit per-trial ``SeedSequence`` list overriding the
+        root-seed derivation entirely (``seed`` and ``trial_offset`` are
+        then ignored; the length must equal ``n_trials``).  This is the
+        batch *merge seam*: a request coalesced from several requests
+        (:mod:`repro.engine.coalesce`, the solve service) carries each
+        constituent's own paired seeds, so every trial computes exactly
+        what it would have computed in its original standalone request.
     config:
         Circuit configuration forwarded when the engine builds the circuit.
     backend:
@@ -112,6 +120,13 @@ class SolveRequest:
     early_stop:
         Optional plateau rule; ``None`` disables early stopping (required for
         exact sample-for-sample equivalence with the sequential path).
+    deadline_seconds:
+        Optional hard wall-clock deadline for the whole batch, independent of
+        the plateau rule.  Once exceeded, the engine stops launching further
+        read-out rounds and returns the (partial but valid) best cuts found
+        so far; at least one round always completes.  Plumbed from
+        :attr:`repro.workloads.spec.Budget.max_seconds` by the executor and
+        from per-request timeouts by the solve service.
     record_potentials:
         If True, the result includes the membrane rows at every read-out step
         (LIF-GW membrane read-out and LIF-TR only) — memory scales with
@@ -130,9 +145,11 @@ class SolveRequest:
     n_samples: int = 64
     trial_offset: int = 0
     seed: Union[None, int, np.random.SeedSequence] = None
+    trial_seeds: Optional[Tuple[np.random.SeedSequence, ...]] = None
     config: Optional[object] = None
     backend: str = "auto"
     early_stop: Optional[EarlyStopConfig] = None
+    deadline_seconds: Optional[float] = None
     record_potentials: bool = False
     record_assignments: bool = False
     max_block_bytes: int = 256 * 1024 * 1024
@@ -148,6 +165,31 @@ class SolveRequest:
             raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
         if self.max_block_bytes < 1:
             raise ValidationError("max_block_bytes must be positive")
+        if self.trial_seeds is not None:
+            # Normalise lists/generators to the declared tuple form (the
+            # dataclass is frozen, hence the object.__setattr__).
+            object.__setattr__(self, "trial_seeds", tuple(self.trial_seeds))
+            if not all(
+                isinstance(s, np.random.SeedSequence) for s in self.trial_seeds
+            ):
+                raise ValidationError(
+                    "trial_seeds must contain numpy SeedSequence objects"
+                )
+            if len(self.trial_seeds) != self.n_trials:
+                raise ValidationError(
+                    f"trial_seeds must have one seed per trial: got "
+                    f"{len(self.trial_seeds)} seed(s) for n_trials="
+                    f"{self.n_trials}"
+                )
+        if self.deadline_seconds is not None and not (
+            isinstance(self.deadline_seconds, (int, float))
+            and not isinstance(self.deadline_seconds, bool)
+            and self.deadline_seconds > 0
+        ):
+            raise ValidationError(
+                f"deadline_seconds must be a positive number or None, "
+                f"got {self.deadline_seconds!r}"
+            )
         if isinstance(self.circuit, str):
             if self.graph is None:
                 raise ValidationError(

@@ -10,6 +10,7 @@ remaining read-out rounds.
 from __future__ import annotations
 
 import math
+import time
 from typing import Optional
 
 import numpy as np
@@ -32,15 +33,26 @@ class BestCutTracker:
         Optional known upper bound on the cut weight (the graph's total edge
         weight).  While an early-stop rule is active, reaching the ceiling
         stops immediately regardless of patience.
+    deadline:
+        Optional absolute wall-clock deadline (a ``time.perf_counter()``
+        value).  Unlike the plateau rule, the deadline is an *independent*
+        stop condition: it fires even with ``early_stop=None``, because a
+        budget's ``max_seconds`` / a served request's timeout is an explicit
+        instruction to truncate.  The check runs after each completed round,
+        so at least one read-out always lands before a deadline stop — the
+        returned best cut is partial but valid.
     """
 
     def __init__(
         self,
         early_stop: Optional[EarlyStopConfig] = None,
         ceiling: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self._config = early_stop
         self._ceiling = None if ceiling is None else float(ceiling)
+        self._deadline = None if deadline is None else float(deadline)
+        self._deadline_exceeded = False
         self.best_weight: float = -math.inf
         self.rounds_seen: int = 0
         self._rounds_since_improvement: int = 0
@@ -54,6 +66,11 @@ class BestCutTracker:
     @property
     def stopped(self) -> bool:
         return self._stop_round is not None
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """True once the wall-clock deadline has fired (never reset)."""
+        return self._deadline_exceeded
 
     def update(self, round_index: int, weights: np.ndarray) -> bool:
         """Fold one round of per-trial cut weights in; return True to stop.
@@ -74,6 +91,18 @@ class BestCutTracker:
             self.best_weight = max(self.best_weight, round_best)
             self._rounds_since_improvement += 1
         self.rounds_seen = max(self.rounds_seen, round_index + 1)
+
+        # The deadline outranks every other rule *and* the config=None
+        # equivalence guarantee: it is checked first, fires in any block
+        # (the engine honours it even where plateau stops are disallowed),
+        # and latches so later blocks truncate at the same point.
+        if self._deadline is not None and (
+            self._deadline_exceeded or time.perf_counter() >= self._deadline
+        ):
+            self._deadline_exceeded = True
+            if self._stop_round is None:
+                self._stop_round = round_index
+            return True
 
         if self._stop_round is not None:
             return True

@@ -48,6 +48,7 @@ class Graph:
         "_adjacency_sparse",
         "_normalized_sparse",
         "_degrees",
+        "_fingerprint",
     )
 
     def __init__(
@@ -98,6 +99,7 @@ class Graph:
         self._adjacency_sparse: Optional[sp.csr_matrix] = None
         self._normalized_sparse: Optional[sp.csr_matrix] = None
         self._degrees: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -167,6 +169,29 @@ class Graph:
     def is_weighted(self) -> bool:
         """True if any edge weight differs from 1."""
         return bool(self._weights.size) and not np.allclose(self._weights, 1.0)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph structure (cached).
+
+        SHA-256 over the vertex count and the canonical (sorted, deduplicated)
+        edge/weight arrays — everything that determines solver behaviour, and
+        nothing that does not (the ``name`` is excluded).  Two graphs with
+        equal structure hash identically across processes and sessions, which
+        is what makes the hash usable as a content address
+        (:mod:`repro.serve.cache`): a served request for a previously seen
+        graph can reuse its compiled circuit regardless of who built it.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(str(self._n).encode("ascii"))
+            digest.update(b"|")
+            digest.update(np.ascontiguousarray(self._edges).tobytes())
+            digest.update(b"|")
+            digest.update(np.ascontiguousarray(self._weights).tobytes())
+            self._fingerprint = digest.hexdigest()[:32]
+        return self._fingerprint
 
     def density(self) -> float:
         """Edge density ``m / (n choose 2)`` (0 for graphs with < 2 vertices)."""

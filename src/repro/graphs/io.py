@@ -20,6 +20,8 @@ __all__ = [
     "write_edge_list",
     "read_matrix_market",
     "write_matrix_market",
+    "graph_to_dict",
+    "graph_from_dict",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -141,6 +143,48 @@ def read_matrix_market(path: PathLike, name: str | None = None) -> Graph:
     edges = [(u, v, w) for (u, v), w in entries.items()]
     graph_name = name or os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return Graph(n_rows, edges, name=graph_name)
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """JSON-safe rendering of *graph* (the solve-service wire format).
+
+    The inverse of :func:`graph_from_dict`; edges are the canonical
+    ``[u, v, weight]`` triples, so ``graph_from_dict(graph_to_dict(g))``
+    reproduces ``g`` exactly (same :meth:`Graph.fingerprint`).
+    """
+    return {
+        "n_vertices": int(graph.n_vertices),
+        "edges": [
+            [int(u), int(v), float(w)]
+            for (u, v), w in zip(graph.edges, graph.edge_weights)
+        ],
+        "name": graph.name,
+    }
+
+
+def graph_from_dict(data) -> Graph:
+    """Rebuild a :class:`Graph` from its :func:`graph_to_dict` form.
+
+    Accepts ``[u, v]`` and ``[u, v, weight]`` edge entries; validation
+    (range checks, self-loops, finite weights) is the Graph constructor's.
+    """
+    if not isinstance(data, dict):
+        raise ValidationError(
+            f"graph payload must be a JSON object, got {type(data).__name__}"
+        )
+    if "n_vertices" not in data:
+        raise ValidationError("graph payload needs an 'n_vertices' field")
+    edges = data.get("edges", [])
+    if not isinstance(edges, (list, tuple)):
+        raise ValidationError("graph payload 'edges' must be a list")
+    try:
+        return Graph(
+            int(data["n_vertices"]),
+            [tuple(edge) for edge in edges],
+            name=str(data.get("name", "graph")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed graph payload: {exc}") from exc
 
 
 def write_matrix_market(graph: Graph, path: PathLike) -> None:

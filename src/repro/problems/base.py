@@ -86,6 +86,21 @@ class Problem(abc.ABC):
         """One-line human summary used by the CLI."""
         return f"{self.kind} instance with {self.n_variables} variable(s)"
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the instance (its canonical JSON form).
+
+        SHA-256 over the sorted-key JSON rendering of :meth:`to_dict` — the
+        same description :mod:`repro.problems.io` persists — so equal
+        instances hash identically across processes.  Used as the content
+        address for compiled-problem caching (:mod:`repro.serve.cache`):
+        a repeated instance skips ``compile_to_maxcut`` entirely.
+        """
+        import hashlib
+        import json
+
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
     def is_improvement(self, candidate: float, incumbent: float) -> bool:
         """Whether *candidate* beats *incumbent* under this direction."""
         if self.direction == "max":

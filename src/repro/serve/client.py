@@ -1,0 +1,117 @@
+"""Stdlib client for a running ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the JSON protocol of :mod:`repro.serve.http`
+over TCP (``host``/``port``) or an ``AF_UNIX`` socket (``socket_path``)
+using nothing beyond ``http.client``:
+
+.. code-block:: python
+
+    from repro.graphs.generators import erdos_renyi
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8765)
+    response = client.solve_graph(erdos_renyi(24, 0.3, seed=1), trials=8, seed=7)
+    print(response["best_weight"])
+
+Every method returns the decoded response payload; non-2xx statuses raise
+:class:`ServeClientError` carrying the server's reason code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Optional
+
+from repro.serve.protocol import solve_payload
+from repro.utils.validation import ValidationError
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ValidationError):
+    """A non-2xx response, with the server's HTTP status and reason code."""
+
+    def __init__(self, status: int, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` path instead of host:port."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._path)
+
+
+class ServeClient:
+    """One serve endpoint; connections are opened per call (stateless)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        if (port is None) == (socket_path is None):
+            raise ValidationError("pass exactly one of port / socket_path")
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        connection = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            decoded = json.loads(response.read().decode("utf-8"))
+            if not 200 <= response.status < 300:
+                raise ServeClientError(
+                    response.status,
+                    str(decoded.get("reason", "error")),
+                    str(decoded.get("error", f"HTTP {response.status}")),
+                )
+            return decoded
+        finally:
+            connection.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def solve(self, payload: dict) -> dict:
+        """POST an already-shaped request payload to ``/solve``."""
+        return self._request("POST", "/solve", payload)
+
+    def solve_graph(self, graph, **options: Any) -> dict:
+        """Solve a :class:`repro.graphs.graph.Graph`; options are wire keys
+        (``circuit``, ``trials``, ``samples``, ``seed``, ``backend``, ...)."""
+        return self.solve(solve_payload(graph=graph, **options))
+
+    def solve_problem(self, problem, **options: Any) -> dict:
+        """Solve any :class:`repro.problems.base.Problem` via the compiler."""
+        return self.solve(solve_payload(problem=problem, **options))
+
+    def stats(self) -> dict:
+        """GET ``/stats`` — the service metrics payload."""
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        """GET ``/healthz``."""
+        return self._request("GET", "/healthz")

@@ -1,0 +1,178 @@
+"""HTTP shell around :class:`repro.serve.service.SolverService`.
+
+Stdlib-only (``http.server``): a :class:`ThreadingHTTPServer` whose handler
+threads block on their job's completion event while the service's single
+batching worker coalesces across them — which is exactly how concurrent
+requests end up in one engine batch.
+
+Endpoints
+---------
+``POST /solve``
+    Body: one request JSON object (:mod:`repro.serve.protocol`).  Replies
+    200 with the response payload, 400 on malformed payloads, 429 when the
+    queue is full, 503 while draining, 504 on queue/wait timeout.
+``GET /stats``
+    Service metrics (:meth:`SolverService.stats`).
+``GET /healthz``
+    ``{"status": "ok", "draining": false}`` — the probe endpoint.
+
+:func:`serve_http` binds a TCP port (0 = ephemeral); :func:`serve_unix`
+binds an ``AF_UNIX`` socket path for same-host callers.  Both return the
+bound server; run :meth:`~socketserver.BaseServer.serve_forever` yourself
+(the CLI does, with SIGTERM mapped to a draining shutdown).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.protocol import error_payload
+from repro.serve.service import AdmissionError, SolverService
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+__all__ = ["ServeHTTPServer", "ServeUnixServer", "serve_http", "serve_unix"]
+
+_logger = get_logger("serve.http")
+
+#: Extra wait granted on top of a request's own admission timeout, so the
+#: service (not the transport) is what times requests out.
+_WAIT_SLACK_SECONDS = 5.0
+
+#: Request-body size cap: a dense float matrix for the largest admissible
+#: instance fits comfortably; anything bigger is a client error, not a job.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> SolverService:
+        return self.server.service
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _logger.debug("%s %s", self.address_string(), format % args)
+
+    def address_string(self) -> str:
+        # AF_UNIX peers have no (host, port) pair.
+        if isinstance(self.client_address, (tuple, list)) and self.client_address:
+            return str(self.client_address[0])
+        return "local"
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/stats":
+            self._reply(200, self.service.stats())
+        elif self.path == "/healthz":
+            self._reply(200, {"status": "ok", "draining": self.service.draining})
+        else:
+            self._reply(404, error_payload("not_found", f"no such endpoint: {self.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path != "/solve":
+            self._reply(404, error_payload("not_found", f"no such endpoint: {self.path}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if not (0 < length <= _MAX_BODY_BYTES):
+            self._reply(400, error_payload(
+                "bad_request",
+                f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
+            ))
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._reply(400, error_payload("bad_request", f"body is not JSON: {exc}"))
+            return
+        try:
+            job = self.service.submit(payload)
+        except AdmissionError as exc:
+            status = {"queue_full": 429, "draining": 503}.get(exc.reason, 400)
+            self._reply(status, error_payload(exc.reason, str(exc)))
+            return
+        except ValidationError as exc:
+            self._reply(400, error_payload("bad_request", str(exc)))
+            return
+        timeout = (
+            job.spec.timeout_seconds
+            or self.service.config.default_timeout_seconds
+        ) + _WAIT_SLACK_SECONDS
+        response = job.wait(timeout)
+        if response is None:
+            self._reply(504, error_payload("timeout", "timed out waiting for the solve"))
+            return
+        self._reply(200 if response.get("status") == "ok" else
+                    (504 if response.get("reason") == "timeout" else 503),
+                    response)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """TCP transport; one handler thread per in-flight request."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: SolverService) -> None:
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+class ServeUnixServer(ThreadingHTTPServer):
+    """Same protocol over an ``AF_UNIX`` socket path (same-host clients)."""
+
+    daemon_threads = True
+    address_family = socket.AF_UNIX
+
+    def __init__(self, path: str, service: SolverService) -> None:
+        self.service = service
+        if os.path.exists(path):
+            os.unlink(path)  # stale socket from a previous run
+        super().__init__(path, _Handler)
+
+    def server_bind(self) -> None:
+        # The stock implementation derives server_name/port from a TCP
+        # getsockname(); a unix path has neither.
+        self.socket.bind(self.server_address)
+        self.server_name = str(self.server_address)
+        self.server_port = 0
+
+    def server_close(self) -> None:
+        super().server_close()
+        try:
+            os.unlink(self.server_address)
+        except OSError:
+            pass
+
+
+def serve_http(
+    service: SolverService, host: str = "127.0.0.1", port: int = 0
+) -> ServeHTTPServer:
+    """Bind the service on ``host:port`` (0 = ephemeral) and return the server."""
+    server = ServeHTTPServer((host, port), service)
+    _logger.info("serving on http://%s:%d", *server.server_address[:2])
+    return server
+
+
+def serve_unix(service: SolverService, path: str) -> ServeUnixServer:
+    """Bind the service on a unix socket *path* and return the server."""
+    server = ServeUnixServer(path, service)
+    _logger.info("serving on unix socket %s", path)
+    return server

@@ -1,0 +1,599 @@
+"""The solve service: admission, cross-request batching, result caching.
+
+:class:`SolverService` is the transport-independent heart of ``repro serve``
+(the HTTP/Unix-socket layer in :mod:`repro.serve.http` is a thin shell over
+it).  A request's life:
+
+1. **Admission** (caller's thread).  The payload is parsed
+   (:mod:`repro.serve.protocol`), problem requests are compiled to MAXCUT
+   through a content-addressed compile cache (certificate verified once per
+   distinct instance), and the admission policy is enforced: queue depth
+   bound, per-request trial budget, instance size cap, drain state.
+   Violations raise :class:`AdmissionError` with a machine-readable reason.
+2. **Result cache.**  A content key over (graph fingerprint, circuit,
+   backend, seeds, batch geometry) indexes previously served responses —
+   an identical re-ask is answered immediately without touching the queue.
+3. **Batching** (worker thread).  The scheduler pops the oldest queued job
+   and coalesces every other queued job sharing its *shape* — (graph
+   fingerprint, circuit, backend, setup seed, sample count) — into one
+   engine batch along the (trials, neurons) axis, up to
+   ``max_batch_trials`` trials, via :func:`repro.engine.coalesce_requests`.
+   Each request keeps its own per-trial seeds, so the split responses are
+   bit-identical to standalone engine runs with the same seed (deadline
+   requests run solo: wall-clock truncation is the one thing batch-mates
+   could perturb).
+4. **Response.**  Split results are shaped into JSON-safe payloads (problem
+   requests additionally lift the best assignment back to a native solution
+   with its certificate constants), stored in the result cache, and handed
+   to the waiting caller.
+
+Metrics for every stage (queue depth, batch occupancy, coalesce ratio,
+cache hit rates, latency percentiles) are served by :meth:`SolverService.stats`
+— the ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine import SolveRequest, SolveResult, coalesce_requests, solve, split_result
+from repro.serve.cache import ContentAddressedCache, content_key
+from repro.serve.protocol import SolveSpec, error_payload, parse_solve_payload
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+__all__ = ["AdmissionError", "ServiceConfig", "ServeJob", "SolverService"]
+
+_logger = get_logger("serve")
+
+
+class AdmissionError(ValidationError):
+    """A request refused at the door, with a machine-readable *reason*.
+
+    Reasons: ``"queue_full"``, ``"budget"``, ``"too_large"``, ``"draining"``.
+    The HTTP layer maps these onto status codes (429 for ``queue_full``,
+    503 for ``draining``, 400 otherwise).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Admission policy and batching/caching knobs of a :class:`SolverService`.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Jobs allowed to wait; submissions beyond it are rejected
+        (``queue_full``) so clients back off instead of piling on.
+    max_batch_trials:
+        Trial-axis ceiling of one coalesced engine batch.  A single job may
+        exceed it (it then rides alone); coalescing never does.
+    max_trials_per_request:
+        Per-request trial budget cap (``budget`` rejection above it).
+    max_request_vertices:
+        Instance size cap, checked on the graph actually solved (the
+        *compiled* graph for problem requests).
+    default_timeout_seconds:
+        Admission deadline applied when a request carries no
+        ``timeout_seconds``: a job still queued past it is answered with a
+        timeout error instead of occupying a batch slot.
+    circuit_cache_entries / compile_cache_entries / result_cache_entries:
+        Bounds of the three content-addressed caches (built circuits —
+        including the LIF-GW SDP stage — compiled problems, and served
+        responses).
+    latency_window:
+        Completed-request latencies kept for the p50/p95 stats.
+    """
+
+    max_queue_depth: int = 64
+    max_batch_trials: int = 64
+    max_trials_per_request: int = 256
+    max_request_vertices: int = 4096
+    default_timeout_seconds: float = 60.0
+    circuit_cache_entries: int = 16
+    compile_cache_entries: int = 32
+    result_cache_entries: int = 256
+    latency_window: int = 512
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_queue_depth", "max_batch_trials", "max_trials_per_request",
+            "max_request_vertices", "circuit_cache_entries",
+            "compile_cache_entries", "result_cache_entries", "latency_window",
+        ):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+        if not self.default_timeout_seconds > 0:
+            raise ValidationError(
+                f"default_timeout_seconds must be positive, "
+                f"got {self.default_timeout_seconds!r}"
+            )
+
+
+class ServeJob:
+    """One admitted request: its spec, resolution state, and completion event."""
+
+    __slots__ = (
+        "job_id", "spec", "graph", "problem", "lifter", "certificate",
+        "shape_key", "result_key", "submitted_at", "admission_deadline",
+        "_event", "response",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: SolveSpec,
+        graph,
+        problem,
+        lifter,
+        certificate,
+        admission_deadline: float,
+    ) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.graph = graph
+        self.problem = problem
+        self.lifter = lifter
+        self.certificate = certificate
+        self.submitted_at = time.perf_counter()
+        self.admission_deadline = admission_deadline
+        self._event = threading.Event()
+        self.response: Optional[dict] = None
+        # Coalescing shape: jobs sharing this key run as one engine batch.
+        # Deadline jobs get a unique shape (their wall-clock truncation must
+        # not bleed into batch-mates), enforced via coalescable below.
+        self.shape_key = content_key(
+            "shape", graph.fingerprint(), spec.circuit, spec.backend,
+            spec.setup_seed, spec.n_samples,
+        )
+        self.result_key = content_key(
+            "result", graph.fingerprint(), spec.circuit, spec.backend,
+            spec.setup_seed, spec.n_samples, spec.n_trials, spec.seed,
+            spec.deadline_seconds,
+        )
+
+    @property
+    def coalescable(self) -> bool:
+        return self.spec.deadline_seconds is None
+
+    def expired(self, now: float) -> bool:
+        return now >= self.admission_deadline
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def complete(self, response: dict) -> None:
+        self.response = response
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """Block until the response is ready; ``None`` on wait timeout."""
+        if not self._event.wait(timeout):
+            return None
+        return self.response
+
+
+class SolverService:
+    """Asynchronous solve queue with cross-request batching (module docstring).
+
+    Parameters
+    ----------
+    config:
+        Admission/batching policy; defaults to :class:`ServiceConfig`.
+    autostart:
+        Start the batching worker immediately.  Pass ``False`` to stage jobs
+        first and :meth:`start` later — with the worker parked, every
+        compatible submission is guaranteed to land in the same batch, which
+        is what the coalescing tests and the bench scenario rely on.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, autostart: bool = True) -> None:
+        self.config = config or ServiceConfig()
+        self._condition = threading.Condition()
+        self._queue: deque = deque()
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._drain = True
+        self._draining = False
+        self._job_counter = 0
+        self._circuits = ContentAddressedCache(
+            max_entries=self.config.circuit_cache_entries, name="circuits"
+        )
+        self._compiles = ContentAddressedCache(
+            max_entries=self.config.compile_cache_entries, name="compiles"
+        )
+        self._results = ContentAddressedCache(
+            max_entries=self.config.result_cache_entries, name="results"
+        )
+        self._metrics_lock = threading.Lock()
+        self._admitted = 0
+        self._completed = 0
+        self._timed_out = 0
+        self._rejected: Dict[str, int] = {}
+        self._engine_invocations = 0
+        self._engine_jobs = 0
+        self._engine_trials = 0
+        self._coalesced_jobs = 0
+        self._latencies: deque = deque(maxlen=self.config.latency_window)
+        if autostart:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the batching worker (idempotent)."""
+        with self._condition:
+            if self._thread is not None or self._stopping:
+                return
+            self._thread = threading.Thread(
+                target=self._worker_loop, name="serve-worker", daemon=True
+            )
+            self._thread.start()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop the service: refuse new admissions, then stop the worker.
+
+        With ``drain=True`` (the SIGTERM path) the worker finishes every
+        queued job first; with ``drain=False`` queued jobs are answered with
+        a shutdown error immediately.
+        """
+        with self._condition:
+            self._draining = True
+            self._stopping = True
+            self._drain = drain
+            thread = self._thread
+            if thread is None:
+                # No worker was ever started; nothing will drain the queue.
+                orphans = list(self._queue)
+                self._queue.clear()
+            else:
+                orphans = []
+            self._condition.notify_all()
+        for job in orphans:
+            self._fail(job, "shutdown", "service stopped before the request ran")
+        if thread is not None:
+            thread.join(timeout)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, payload: Any) -> ServeJob:
+        """Admit one request; returns the job to :meth:`ServeJob.wait` on.
+
+        *payload* is a request JSON object (or an already-parsed
+        :class:`SolveSpec`).  Raises :class:`AdmissionError` on policy
+        rejection and :class:`ValidationError` on a malformed payload.
+        """
+        spec = payload if isinstance(payload, SolveSpec) else parse_solve_payload(payload)
+        problem = lifter = certificate = None
+        if spec.problem is not None:
+            problem = spec.problem
+            graph, lifter, certificate = self._compile(spec)
+        else:
+            graph = spec.graph
+        if self._draining:
+            self._count_rejection("draining")
+            raise AdmissionError("draining", "service is draining; not accepting requests")
+        if spec.n_trials > self.config.max_trials_per_request:
+            self._count_rejection("budget")
+            raise AdmissionError(
+                "budget",
+                f"trials {spec.n_trials} exceeds the per-request cap "
+                f"{self.config.max_trials_per_request}",
+            )
+        if graph.n_vertices > self.config.max_request_vertices:
+            self._count_rejection("too_large")
+            raise AdmissionError(
+                "too_large",
+                f"instance has {graph.n_vertices} vertices; the service caps "
+                f"requests at {self.config.max_request_vertices}",
+            )
+        timeout = spec.timeout_seconds or self.config.default_timeout_seconds
+        with self._condition:
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter}"
+        job = ServeJob(
+            job_id, spec, graph, problem, lifter, certificate,
+            admission_deadline=time.perf_counter() + timeout,
+        )
+        cached = self._results.get(job.result_key)
+        if cached is not None:
+            response = dict(cached)
+            response["job_id"] = job.job_id
+            response["cached"] = True
+            response["wait_seconds"] = 0.0
+            job.complete(response)
+            with self._metrics_lock:
+                self._admitted += 1
+                self._completed += 1
+                self._latencies.append(0.0)
+            return job
+        with self._condition:
+            if self._draining:
+                self._count_rejection("draining")
+                raise AdmissionError(
+                    "draining", "service is draining; not accepting requests"
+                )
+            if len(self._queue) >= self.config.max_queue_depth:
+                self._count_rejection("queue_full")
+                raise AdmissionError(
+                    "queue_full",
+                    f"queue depth {len(self._queue)} is at the admission "
+                    f"limit {self.config.max_queue_depth}",
+                )
+            self._queue.append(job)
+            self._condition.notify_all()
+        with self._metrics_lock:
+            self._admitted += 1
+        return job
+
+    def solve(self, payload: Any, timeout: Optional[float] = None) -> dict:
+        """Submit and wait: the one-call convenience used by tests/examples."""
+        job = self.submit(payload)
+        response = job.wait(timeout)
+        if response is None:
+            return error_payload("timeout", "timed out waiting for the response")
+        return response
+
+    def _compile(self, spec: SolveSpec) -> Tuple[Any, Any, Any]:
+        from repro.problems import compile_to_maxcut
+        from repro.problems.base import verify_certificate
+
+        key = content_key("compile", spec.problem.fingerprint(), spec.setup_seed)
+
+        def build():
+            graph, lifter = compile_to_maxcut(
+                spec.problem, verify=False, seed=spec.setup_seed
+            )
+            # Certify once per distinct instance — the certificate rides the
+            # cache with the compiled graph, so responses can claim it
+            # without paying the probes per request.
+            certificate = verify_certificate(
+                spec.problem, graph, lifter, seed=spec.setup_seed
+            )
+            return graph, lifter, certificate
+
+        return self._compiles.get_or_build(key, build)
+
+    def _count_rejection(self, reason: str) -> None:
+        with self._metrics_lock:
+            self._rejected[reason] = self._rejected.get(reason, 0) + 1
+
+    # -- batching worker ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            rejected: List[ServeJob] = []
+            expired: List[ServeJob] = []
+            batch: List[ServeJob] = []
+            stop = False
+            with self._condition:
+                while not self._queue and not self._stopping:
+                    self._condition.wait(0.05)
+                if self._stopping and not self._drain:
+                    rejected = list(self._queue)
+                    self._queue.clear()
+                    stop = True
+                elif not self._queue:
+                    stop = True  # stopping with the queue drained
+                else:
+                    expired, batch = self._pop_batch_locked(time.perf_counter())
+            for job in rejected:
+                self._fail(job, "shutdown", "service stopped before the request ran")
+            for job in expired:
+                self._expire(job)
+            if batch:
+                try:
+                    self._run_batch(batch)
+                except Exception as exc:  # noqa: BLE001 - served as a response
+                    _logger.exception("batch failed: %s", exc)
+                    for job in batch:
+                        self._fail(job, "internal", f"solve failed: {exc}")
+            if stop:
+                return
+
+    def _pop_batch_locked(
+        self, now: float
+    ) -> Tuple[List[ServeJob], List[ServeJob]]:
+        """Pop the oldest job plus every queued same-shape job that fits."""
+        expired: List[ServeJob] = []
+        while self._queue and self._queue[0].expired(now):
+            expired.append(self._queue.popleft())
+        if not self._queue:
+            return expired, []
+        head = self._queue.popleft()
+        batch = [head]
+        trials = head.spec.n_trials
+        keep: deque = deque()
+        while self._queue:
+            job = self._queue.popleft()
+            if job.expired(now):
+                expired.append(job)
+            elif (
+                head.coalescable
+                and job.coalescable
+                and job.shape_key == head.shape_key
+                and trials + job.spec.n_trials <= self.config.max_batch_trials
+            ):
+                batch.append(job)
+                trials += job.spec.n_trials
+            else:
+                keep.append(job)
+        self._queue = keep
+        return expired, batch
+
+    def _circuit_for(self, job: ServeJob):
+        spec = job.spec
+        key = content_key(
+            "circuit", job.graph.fingerprint(), spec.circuit, spec.setup_seed
+        )
+
+        def build():
+            if spec.circuit == "lif_gw":
+                from repro.circuits.lif_gw import LIFGWCircuit
+
+                # The SDP solve is the expensive offline stage; seeding it
+                # from setup_seed (not the sampling seed) is what lets
+                # different-seed requests share one cached circuit.
+                return LIFGWCircuit(job.graph, seed=spec.setup_seed)
+            from repro.circuits.lif_trevisan import LIFTrevisanCircuit
+
+            return LIFTrevisanCircuit(job.graph)
+
+        return self._circuits.get_or_build(key, build)
+
+    def _run_batch(self, batch: List[ServeJob]) -> None:
+        circuit = self._circuit_for(batch[0])
+        requests = [
+            SolveRequest(
+                circuit=circuit,
+                n_trials=job.spec.n_trials,
+                n_samples=job.spec.n_samples,
+                seed=job.spec.seed,
+                backend=job.spec.backend,
+                deadline_seconds=job.spec.deadline_seconds,
+            )
+            for job in batch
+        ]
+        merged, slices = coalesce_requests(requests)
+        result = solve(merged)
+        parts = split_result(result, slices)
+        now = time.perf_counter()
+        with self._metrics_lock:
+            self._engine_invocations += 1
+            self._engine_jobs += len(batch)
+            self._engine_trials += merged.n_trials
+            if len(batch) > 1:
+                self._coalesced_jobs += len(batch)
+            self._completed += len(batch)
+            for job in batch:
+                self._latencies.append(now - job.submitted_at)
+        for job, part in zip(batch, parts):
+            response = self._shape_response(job, part, batch_jobs=len(batch))
+            self._results.put(job.result_key, response)
+            final = dict(response)
+            final["wait_seconds"] = float(now - job.submitted_at)
+            job.complete(final)
+
+    def _shape_response(self, job: ServeJob, part: SolveResult, batch_jobs: int) -> dict:
+        spec = job.spec
+        best = part.best_cut
+        response = {
+            "status": "ok",
+            "job_id": job.job_id,
+            "graph_name": job.graph.name,
+            "graph_fingerprint": job.graph.fingerprint(),
+            "circuit": spec.circuit,
+            "backend": part.backend_name,
+            "seed": spec.seed,
+            "n_trials": int(part.n_trials),
+            "n_samples": int(spec.n_samples),
+            "n_rounds": int(part.n_rounds),
+            "best_weight": float(best.weight),
+            "assignment": np.asarray(best.assignment).astype(int).tolist(),
+            "trial_best_weights": [float(w) for w in part.trial_best_weights],
+            "elapsed_seconds": float(part.elapsed_seconds),
+            "coalesced": batch_jobs > 1,
+            "batch_jobs": int(batch_jobs),
+            "batch_trials": int(part.metadata.get("batch_trials", part.n_trials)),
+            "deadline_exceeded": bool(part.metadata.get("deadline_exceeded", False)),
+            "cached": False,
+            "wait_seconds": 0.0,
+        }
+        if job.problem is not None:
+            solution = job.lifter.lift(best.assignment)
+            response["problem"] = {
+                "kind": job.problem.kind,
+                "n_variables": int(job.problem.n_variables),
+                "objective": float(job.problem.objective(solution)),
+                "solution": np.asarray(solution).tolist(),
+                "certified": True,
+                "certificate_max_abs_error": float(job.certificate.max_abs_error),
+                "value_scale": float(job.lifter.value_scale),
+                "value_offset": float(job.lifter.value_offset),
+            }
+        return response
+
+    def _fail(self, job: ServeJob, reason: str, message: str) -> None:
+        response = error_payload(reason, message)
+        response["job_id"] = job.job_id
+        job.complete(response)
+
+    def _expire(self, job: ServeJob) -> None:
+        with self._metrics_lock:
+            self._timed_out += 1
+        self._fail(
+            job, "timeout",
+            "request timed out in the queue before a batch slot opened",
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    @staticmethod
+    def _percentile(values: List[float], fraction: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+        return float(ordered[index])
+
+    def stats(self) -> dict:
+        """JSON-safe service metrics (the ``/stats`` endpoint body)."""
+        with self._condition:
+            queue_depth = len(self._queue)
+        with self._metrics_lock:
+            latencies = list(self._latencies)
+            invocations = self._engine_invocations
+            jobs = self._engine_jobs
+            trials = self._engine_trials
+            stats = {
+                "queue_depth": queue_depth,
+                "draining": self._draining,
+                "admitted": self._admitted,
+                "completed": self._completed,
+                "timed_out": self._timed_out,
+                "rejected": dict(self._rejected),
+                "engine": {
+                    "invocations": invocations,
+                    "jobs": jobs,
+                    "trials": trials,
+                    "coalesced_jobs": self._coalesced_jobs,
+                    "coalesce_ratio": (jobs / invocations) if invocations else 0.0,
+                    "mean_batch_trials": (trials / invocations) if invocations else 0.0,
+                    "batch_occupancy": (
+                        trials / (invocations * self.config.max_batch_trials)
+                    ) if invocations else 0.0,
+                },
+                "caches": {
+                    "results": self._results.stats(),
+                    "circuits": self._circuits.stats(),
+                    "compiles": self._compiles.stats(),
+                },
+                "latency": {
+                    "count": len(latencies),
+                    "p50_seconds": self._percentile(latencies, 0.50),
+                    "p95_seconds": self._percentile(latencies, 0.95),
+                },
+            }
+        return stats

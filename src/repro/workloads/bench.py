@@ -21,6 +21,13 @@ baseline (``benchmarks/baseline.json``):
     direct/compiled wall time — it measures *reduction-path overhead*
     (expected near, and allowed below, 1), and its floor catches
     regressions in the compile/lift/certificate hot path.
+``serve-batching``
+    The solve service's cross-request coalescing (:mod:`repro.serve`):
+    K identical-shape requests submitted serially (one engine invocation
+    each) vs staged together (fused into single batches).  ``speedup`` here
+    is the *engine invocation* ratio serial/coalesced — deterministic, so
+    its floor gates the coalescing guarantee rather than wall-clock noise;
+    both wall times are still recorded.
 
 Each scenario is one shard unit, so the bench workload itself shards and
 resumes like everything else.  Results are :class:`BenchRecord` rows — a
@@ -108,6 +115,7 @@ def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
     scenarios = [(f"engine:{circuit}",) for circuit in _ENGINE_CIRCUITS]
     scenarios.append(("sharded:arena",))
     scenarios.append(("problems-compile",))
+    scenarios.append(("serve-batching",))
     return scenarios
 
 
@@ -284,6 +292,83 @@ def _run_problems_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
+def _run_serve_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.graphs.io import graph_to_dict
+    from repro.serve import ServiceConfig, SolverService
+
+    # K same-shape requests (one graph, one circuit, distinct sampling
+    # seeds): the serial path answers them one at a time — one engine
+    # invocation each — while the coalesced path stages all K behind a
+    # parked worker so the batching scheduler fuses them into
+    # ceil(K * trials / max_batch_trials) invocations.  The gated `speedup`
+    # is the *invocation* ratio (serial ÷ coalesced): it is what coalescing
+    # actually buys and, unlike wall time, is exact on a noisy CI machine.
+    graph = _bench_graph(spec)
+    n_requests = int(dict(spec.params).get("serve_requests", 8))
+    n_trials = max(1, spec.budget.n_trials // 4)
+    payloads = [
+        {
+            "graph": graph_to_dict(graph),
+            "circuit": "lif_tr",
+            "trials": n_trials,
+            "samples": spec.budget.n_samples,
+            "seed": int(spec.seed) + index,
+            "backend": spec.policy.backend,
+        }
+        for index in range(n_requests)
+    ]
+    config = ServiceConfig(max_batch_trials=max(64, n_requests * n_trials))
+    wait = 300.0
+
+    with SolverService(config) as serial_service:
+        started = time.perf_counter()
+        serial_responses = [
+            serial_service.solve(payload, timeout=wait) for payload in payloads
+        ]
+        serial_elapsed = time.perf_counter() - started
+        serial_invocations = serial_service.stats()["engine"]["invocations"]
+
+    with SolverService(config, autostart=False) as coalesced_service:
+        started = time.perf_counter()
+        jobs = [coalesced_service.submit(payload) for payload in payloads]
+        coalesced_service.start()
+        coalesced_responses = [job.wait(wait) for job in jobs]
+        coalesced_elapsed = time.perf_counter() - started
+        coalesced_stats = coalesced_service.stats()
+    coalesced_invocations = coalesced_stats["engine"]["invocations"]
+
+    def _weights(responses):
+        return [
+            None if r is None else r.get("trial_best_weights") for r in responses
+        ]
+
+    results_match = (
+        all(r is not None and r.get("status") == "ok" for r in serial_responses)
+        and all(r is not None and r.get("status") == "ok" for r in coalesced_responses)
+        and _weights(serial_responses) == _weights(coalesced_responses)
+    )
+    return {
+        "scenario": "serve-batching",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(coalesced_elapsed),
+        "baseline_seconds": float(serial_elapsed),
+        "speedup": float(serial_invocations / coalesced_invocations)
+                   if coalesced_invocations else float("inf"),
+        "detail": {
+            "graph": graph.name,
+            "n_requests": n_requests,
+            "n_trials_per_request": n_trials,
+            "n_samples": int(spec.budget.n_samples),
+            "serial_invocations": int(serial_invocations),
+            "coalesced_invocations": int(coalesced_invocations),
+            "coalesce_ratio": float(coalesced_stats["engine"]["coalesce_ratio"]),
+            "serial_wall_seconds": float(serial_elapsed),
+            "coalesced_wall_seconds": float(coalesced_elapsed),
+            "results_match": bool(results_match),
+        },
+    }
+
+
 def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
     """Run one bench scenario and return its JSON-safe measurement payload."""
     if scenario.startswith("engine:"):
@@ -292,6 +377,8 @@ def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
         return _run_sharded_scenario(spec)
     if scenario == "problems-compile":
         return _run_problems_scenario(spec)
+    if scenario == "serve-batching":
+        return _run_serve_scenario(spec)
     raise ValidationError(f"unknown bench scenario {scenario!r}")
 
 

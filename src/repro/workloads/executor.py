@@ -37,10 +37,8 @@ the decomposition never changes results.
 from __future__ import annotations
 
 import dataclasses
-import json
 import math
 import time
-from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +51,7 @@ from repro.experiments import runner as _runner
 from repro.graphs.graph import Graph
 from repro.parallel.partition import partition_work
 from repro.parallel.pool import ParallelConfig, parallel_map
+from repro.serve.cache import ContentAddressedCache, content_key
 from repro.utils.rng import paired_seed
 from repro.utils.validation import ValidationError
 from repro.workloads.spec import Budget, WorkloadSpec
@@ -82,15 +81,16 @@ def _sequential_trial(task: tuple) -> float:
     return float(cut.weight)
 
 
-#: Small LRU of materialised graph lists, keyed by (source description,
-#: seed) with the originating GraphSuite object stored alongside for an
-#: identity check on lookup.  Graph sources are pure functions of the seed,
-#: so reuse is safe; it spares an in-process sharded run (plan + one build
-#: per shard) from rebuilding / reloading the same suite once per shard.
-#: Explicit in-memory sources are never cached (their to_dict records names
-#: only, which could collide).
-_GRAPH_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
-_GRAPH_CACHE_SIZE = 8
+#: Small content-addressed LRU of materialised graph lists
+#: (:class:`repro.serve.cache.ContentAddressedCache`), keyed by the hash of
+#: (source description, seed) with the originating GraphSuite object stored
+#: alongside for an identity check on lookup.  Graph sources are pure
+#: functions of the seed, so reuse is safe; it spares an in-process sharded
+#: run (plan + one build per shard) from rebuilding / reloading the same
+#: suite once per shard, and the solve service's suite-backed requests reuse
+#: it too.  Explicit in-memory sources are never cached (their to_dict
+#: records names only, which could collide).
+_GRAPH_CACHE = ContentAddressedCache(max_entries=8, name="suite-builds")
 
 
 def _graph_cache_suite(spec: WorkloadSpec):
@@ -113,7 +113,7 @@ def build_spec_graphs(spec: WorkloadSpec) -> List[Graph]:
     """
     cache_key = None
     if spec.graphs.kind != "explicit":
-        cache_key = (json.dumps(spec.graphs.to_dict(), sort_keys=True), spec.seed)
+        cache_key = content_key(spec.graphs.to_dict(), spec.seed)
         cached = _GRAPH_CACHE.get(cache_key)
         if cached is not None:
             cached_suite, cached_graphs = cached
@@ -122,8 +122,8 @@ def build_spec_graphs(spec: WorkloadSpec) -> List[Graph]:
             # under the same key (register_suite(..., overwrite=True)) can
             # never be served the replaced builder's graphs.
             if cached_suite is _graph_cache_suite(spec):
-                _GRAPH_CACHE.move_to_end(cache_key)
                 return list(cached_graphs)
+            _GRAPH_CACHE.invalidate(cache_key)
     graphs = spec.graphs.build(spec.seed)
     names = [graph.name for graph in graphs]
     if len(set(names)) != len(names):
@@ -133,9 +133,7 @@ def build_spec_graphs(spec: WorkloadSpec) -> List[Graph]:
             f"(pass name=... to the generators)"
         )
     if cache_key is not None:
-        _GRAPH_CACHE[cache_key] = (_graph_cache_suite(spec), list(graphs))
-        while len(_GRAPH_CACHE) > _GRAPH_CACHE_SIZE:
-            _GRAPH_CACHE.popitem(last=False)
+        _GRAPH_CACHE.put(cache_key, (_graph_cache_suite(spec), list(graphs)))
     return graphs
 
 
@@ -217,6 +215,7 @@ def _run_engine_unit(
         seed=root,
         backend=backend,
         trial_offset=trial_lo,
+        deadline_seconds=budget.max_seconds,
     )
     metadata = {
         "engine_elapsed_seconds": float(result.elapsed_seconds),
@@ -224,6 +223,8 @@ def _run_engine_unit(
         "n_rounds": int(result.n_rounds),
         "early_stopped": bool(result.early_stopped),
     }
+    if result.metadata.get("deadline_exceeded"):
+        metadata["budget_truncated"] = True
     weights = [float(w) for w in np.asarray(result.trial_best_weights, dtype=float)]
     return weights, int(result.n_rounds), metadata
 

@@ -261,11 +261,13 @@ class Budget(ValidatedConfig):
         Optional wall-clock cap per (solver, graph) cell.  The sequential
         path stops launching further trials once exceeded (at least one
         trial always completes, and the trial count is recorded).  The
-        engine path executes its batch in one shot, so the cap is advisory
-        there and only recorded in the entry metadata when overrun.
-        Setting a cap forces capped cells onto a serial trial loop —
-        ``parallel_map`` cannot cancel in-flight work — so it overrides any
-        worker configuration for those cells.
+        engine path forwards the cap as the request's ``deadline_seconds``:
+        the batch stops launching further read-out rounds once exceeded (at
+        least one round always completes) and returns the partial-but-valid
+        bests, with ``budget_truncated`` set in the entry metadata.
+        Setting a cap forces capped *sequential* cells onto a serial trial
+        loop — ``parallel_map`` cannot cancel in-flight work — so it
+        overrides any worker configuration for those cells.
     """
 
     n_trials: int = 4

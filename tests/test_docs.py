@@ -49,6 +49,7 @@ PUBLIC_PACKAGES = [
     "repro.plotting",
     "repro.problems",
     "repro.sdp",
+    "repro.serve",
     "repro.spectral",
     "repro.utils",
     "repro.workloads",
@@ -94,7 +95,8 @@ class TestReadme:
     def test_readme_exists_and_mentions_quickstart_commands(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         for command in ("repro run", "repro workloads", "repro solve",
-                        "repro engine", "repro compare", "pip install -e ."):
+                        "repro engine", "repro compare", "repro serve",
+                        "pip install -e ."):
             assert command in readme, f"README lost the {command!r} quickstart"
 
     def test_readme_architecture_map_matches_source_tree(self):
@@ -124,6 +126,7 @@ class TestCliHelp:
         ["compare", "--help"],
         ["merge", "--help"],
         ["bench", "--help"],
+        ["serve", "--help"],
     ])
     def test_help_exits_zero(self, argv, capsys):
         from repro.cli import main

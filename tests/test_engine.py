@@ -396,3 +396,131 @@ class TestRunnerIntegration:
             circuit=circuit, graph=small_er_graph, n_trials=1, n_samples=4, seed=0
         )
         assert result.n_trials == 1
+
+
+class TestCoalesce:
+    """The batch merge/split seams behind the solve service's coalescing."""
+
+    def test_coalesced_batch_is_bit_identical_per_request(self, medium_er_graph):
+        from repro.engine import coalesce_requests, split_result
+
+        circuit = _tr(medium_er_graph)
+        requests = [
+            SolveRequest(circuit=circuit, n_trials=t, n_samples=8, seed=s)
+            for t, s in [(2, 11), (3, 7), (1, 11), (4, 0)]
+        ]
+        merged, slices = coalesce_requests(requests)
+        assert merged.n_trials == sum(r.n_trials for r in requests)
+        assert [hi - lo for lo, hi in slices] == [2, 3, 1, 4]
+        parts = split_result(solve(merged), slices)
+        for request, part in zip(requests, parts):
+            standalone = solve(request)
+            _assert_bit_identical(part, standalone)
+            assert part.metadata["coalesced"] is True
+            assert part.metadata["batch_trials"] == merged.n_trials
+
+    def test_explicit_trial_seeds_match_root_derivation(self, small_er_graph):
+        circuit = _tr(small_er_graph)
+        seeds = tuple(trial_seed_sequences(5, 3))
+        explicit = solve(SolveRequest(
+            circuit=circuit, n_trials=3, n_samples=6, trial_seeds=seeds
+        ))
+        derived = solve(SolveRequest(circuit=circuit, n_trials=3, n_samples=6, seed=5))
+        _assert_bit_identical(explicit, derived)
+
+    def test_trial_seeds_validation(self, small_er_graph):
+        circuit = _tr(small_er_graph)
+        with pytest.raises(ValidationError):
+            SolveRequest(circuit=circuit, n_trials=2, trial_seeds=(np.random.SeedSequence(0),))
+        with pytest.raises(ValidationError):
+            SolveRequest(circuit=circuit, n_trials=1, trial_seeds=(123,))
+
+    def test_coalesce_rejects_shape_mismatches(self, small_er_graph):
+        from repro.engine import coalesce_requests
+
+        circuit = _tr(small_er_graph)
+        other = _tr(erdos_renyi(12, 0.4, seed=3))
+        base = SolveRequest(circuit=circuit, n_trials=1, n_samples=8, seed=0)
+        with pytest.raises(ValidationError):
+            coalesce_requests([])
+        with pytest.raises(ValidationError):
+            coalesce_requests([base, SolveRequest(circuit=other, n_trials=1, n_samples=8)])
+        with pytest.raises(ValidationError):
+            coalesce_requests([base, SolveRequest(circuit=circuit, n_trials=1, n_samples=4)])
+        with pytest.raises(ValidationError):
+            coalesce_requests([base, SolveRequest(
+                circuit=circuit, n_trials=1, n_samples=8, backend="dense"
+            )])
+        with pytest.raises(ValidationError):
+            coalesce_requests([base, SolveRequest(
+                circuit=circuit, n_trials=1, n_samples=8,
+                early_stop=EarlyStopConfig(patience=1, min_rounds=1),
+            )])
+        # By-name requests must be resolved to an instance first.
+        with pytest.raises(ValidationError):
+            coalesce_requests([SolveRequest(
+                circuit="lif_tr", graph=small_er_graph, n_trials=1, n_samples=8
+            )])
+
+    def test_split_result_slice_validation(self, small_er_graph):
+        from repro.engine import split_result
+
+        result = solve(SolveRequest(
+            circuit=_tr(small_er_graph), n_trials=2, n_samples=4, seed=0
+        ))
+        with pytest.raises(ValidationError):
+            split_result(result, [(0, 3)])
+        with pytest.raises(ValidationError):
+            split_result(result, [(1, 1)])
+
+
+class TestDeadline:
+    """Budget.max_seconds / served timeouts as a real engine deadline."""
+
+    def test_tight_deadline_returns_partial_valid_best(self, medium_er_graph):
+        from repro.cuts.cut import cut_weight
+
+        request = SolveRequest(
+            circuit=_tr(medium_er_graph), n_trials=4, n_samples=400,
+            seed=3, deadline_seconds=1e-4,
+        )
+        result = solve(request)
+        # Truncated well short of the ask, but never below one round...
+        assert 1 <= result.n_rounds < 400
+        assert result.metadata["deadline_exceeded"] is True
+        assert result.trajectories.shape == (4, result.n_rounds)
+        # ...and the returned bests are real cuts of the graph.
+        for trial in range(4):
+            weight = cut_weight(medium_er_graph, result.trial_best_assignments[trial])
+            assert weight == result.trial_best_weights[trial]
+        assert result.best_cut.weight == result.trial_best_weights.max()
+
+    def test_deadline_prefix_matches_unconstrained_run(self, small_er_graph):
+        """Completed rounds under a deadline equal the unconstrained prefix."""
+        circuit = _tr(small_er_graph)
+        free = solve(SolveRequest(circuit=circuit, n_trials=2, n_samples=50, seed=9))
+        capped = solve(SolveRequest(
+            circuit=circuit, n_trials=2, n_samples=50, seed=9,
+            deadline_seconds=1e-4,
+        ))
+        n = capped.n_rounds
+        assert np.array_equal(capped.trajectories, free.trajectories[:, :n])
+
+    def test_generous_deadline_changes_nothing(self, small_er_graph):
+        circuit = _tr(small_er_graph)
+        free = solve(SolveRequest(circuit=circuit, n_trials=2, n_samples=10, seed=1))
+        capped = solve(SolveRequest(
+            circuit=circuit, n_trials=2, n_samples=10, seed=1, deadline_seconds=3600.0
+        ))
+        _assert_bit_identical(capped, free)
+        assert capped.metadata["deadline_exceeded"] is False
+
+    def test_deadline_validation(self, small_er_graph):
+        with pytest.raises(ValidationError):
+            SolveRequest(
+                circuit=_tr(small_er_graph), n_trials=1, deadline_seconds=0.0
+            )
+        with pytest.raises(ValidationError):
+            SolveRequest(
+                circuit=_tr(small_er_graph), n_trials=1, deadline_seconds=-1.0
+            )

@@ -1,0 +1,81 @@
+"""Daemon lifecycle test: real ``repro serve`` subprocess, SIGTERM drain.
+
+The CI serve-smoke step runs this same sequence: boot the daemon on an
+ephemeral port, post a graph request and a QUBO request over plain HTTP,
+assert both come back certified-correct, then SIGTERM and require a clean
+drained exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+
+def _post(port: int, payload: dict, timeout: float = 60.0) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/solve",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+@pytest.fixture
+def daemon():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), banner
+        yield process, int(banner.rsplit(":", 1)[1])
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=30)
+
+
+def test_daemon_serves_graph_and_qubo_then_drains_on_sigterm(daemon):
+    process, port = daemon
+
+    ring = {"n_vertices": 6, "edges": [[i, (i + 1) % 6, 1.0] for i in range(6)]}
+    graph_response = _post(port, {
+        "graph": ring, "circuit": "lif_tr", "trials": 4, "samples": 32, "seed": 1,
+    })
+    assert graph_response["status"] == "ok"
+    # C6 is bipartite: the full 6.0 cut is reliably found at this budget.
+    assert graph_response["best_weight"] == 6.0
+
+    qubo = {"kind": "qubo", "matrix": [
+        [-1.0, 2.0, 0.0], [2.0, -1.0, 2.0], [0.0, 2.0, -1.0],
+    ]}
+    qubo_response = _post(port, {
+        "problem": qubo, "trials": 4, "samples": 32, "seed": 2,
+    })
+    assert qubo_response["status"] == "ok"
+    assert qubo_response["problem"]["certified"] is True
+    assert qubo_response["problem"]["kind"] == "qubo"
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/stats", timeout=10
+    ) as response:
+        stats = json.load(response)
+    assert stats["completed"] >= 2
+    assert stats["queue_depth"] == 0
+
+    process.send_signal(signal.SIGTERM)
+    out, _ = process.communicate(timeout=60)
+    assert process.returncode == 0, out
+    assert "drained:" in out

@@ -400,3 +400,36 @@ class TestWorkloadSeeding:
         for ea, eb in zip(a.records, b.records):
             assert ea.best_weight == eb.best_weight
             assert ea.mean_weight == eb.mean_weight
+
+
+class TestBudgetDeadline:
+    """Budget.max_seconds as a real engine deadline (satellite of PR 6)."""
+
+    def test_engine_cell_truncates_under_tight_budget(self):
+        from repro.cuts.cut import cut_weight
+        from repro.workloads.executor import execute_spec
+
+        spec = WorkloadSpec(
+            workload="arena",
+            graphs=GraphSource.from_suite("er-small"),
+            solvers=("lif_tr",),
+            budget=Budget(n_trials=4, n_samples=4000, max_seconds=1e-4),
+            policy=ExecutionPolicy(mode="auto"),
+            seed=3,
+        )
+        report = execute_spec(spec)
+        for entry in report.entries:
+            assert entry.used_engine
+            assert entry.metadata["budget_truncated"] is True
+            # Truncated, but every recorded round is a real one...
+            assert 1 <= entry.metadata["n_rounds"] < 4000
+            # ...and the best weight is a valid cut (positive on ER graphs).
+            assert entry.best_weight > 0
+
+    def test_generous_budget_leaves_results_untouched(self):
+        kwargs = dict(solvers=("lif_tr",), suite="er-small", trials=2, samples=8, seed=4)
+        free = run_workload("arena", **kwargs)
+        capped = run_workload("arena", max_seconds=3600.0, **kwargs)
+        for ea, eb in zip(free.records, capped.records):
+            assert ea.best_weight == eb.best_weight
+            assert "budget_truncated" not in eb.metadata
