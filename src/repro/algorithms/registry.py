@@ -38,6 +38,11 @@ Each spec's ``budget`` field records the interpretation:
     ``local_search`` — the budget is divided by 10 to give the number of
     greedy restarts (each restart performs many flip passes).
 
+One registered solver is *meta*: ``portfolio`` (alias ``auto``, registered
+on import of :mod:`repro.portfolio`) routes each instance to another
+registry entry via mined priors, or races a candidate subset by successive
+halving when no model is given — see DESIGN.md §"Portfolio meta-solver".
+
 Problem classes
 ---------------
 The problem compiler (:mod:`repro.problems`) lowers QUBO / Ising / MAXDICUT /

@@ -148,7 +148,11 @@ class ArenaResult:
                 "samples_per_second": (total_samples / elapsed) if elapsed > 0 else 0.0,
                 "used_engine": all(e.used_engine for e in entries),
             })
-        rows.sort(key=lambda r: (-r["mean_ratio"], r["elapsed_seconds"]))
+        # Equal-ratio solvers must rank identically across runs and
+        # interpreters (portfolio priors and the pinned leaderboard tests
+        # depend on stable ranks), so ties break on wins and then the
+        # solver name — never on wall-clock measurements.
+        rows.sort(key=lambda r: (-r["mean_ratio"], -r["wins"], str(r["solver"])))
         return rows
 
     def winner(self) -> Optional[str]:

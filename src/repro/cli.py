@@ -53,7 +53,8 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 import repro.problems  # registers problem-native solvers and problem suites
-from repro.algorithms.registry import get_solver, list_solvers
+import repro.portfolio  # registers the portfolio meta-solver ("auto")
+from repro.algorithms.registry import get_solver, get_spec, list_solvers
 from repro.arena.suite import list_suites
 from repro.experiments.runner import save_results
 from repro.graphs.generators import erdos_renyi
@@ -215,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--trials", type=int, default=4,
                        help="engine batch trials for batchable solvers "
                             "(--problem mode)")
+    solve.add_argument("--model", type=str, default=None, metavar="FILE",
+                       help="portfolio model for --solver auto (from "
+                            "`repro portfolio fit`); without one, auto "
+                            "races its candidate pool cold")
 
     # engine -----------------------------------------------------------------
     engine = subparsers.add_parser(
@@ -277,6 +282,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "problem requests)")
     serve.add_argument("--timeout", type=float, default=60.0,
                        help="default per-request queue timeout in seconds")
+    serve.add_argument("--model", type=str, default=None, metavar="FILE",
+                       help="portfolio model used to route \"solver\": "
+                            "\"auto\" requests (from `repro portfolio fit`)")
+
+    # portfolio --------------------------------------------------------------
+    portfolio = subparsers.add_parser(
+        "portfolio",
+        help="fit/inspect the portfolio meta-solver's routing priors",
+        description=(
+            "Mine persisted arena/workload result files (repro --save, "
+            "repro run arena, the sharded executor's merge output) into a "
+            "PortfolioModel: per-feature-bucket solver rankings by mean "
+            "arena-relative cut ratio. The model drives `--solver auto` "
+            "routing in `repro solve`, workloads, and the serve daemon."
+        ),
+    )
+    portfolio.add_argument("action", choices=["fit", "explain"],
+                           help="fit: mine result files into a model; "
+                                "explain: render a saved model's rankings")
+    portfolio.add_argument("paths", nargs="+", metavar="FILE",
+                           help="result JSON files (fit) or one model file "
+                                "(explain)")
+    portfolio.add_argument("--out", type=str, default=None, metavar="FILE",
+                           help="fit: write the model to this JSON file")
+    portfolio.add_argument("--top", type=int, default=3,
+                           help="solvers shown per bucket in the rendering")
 
     # compare (deprecated shim for `run arena`) ------------------------------
     compare = subparsers.add_parser(
@@ -619,7 +650,10 @@ def _command_solve(args: argparse.Namespace) -> int:
         return _solve_problem(args)
     graph = _load_graph(args)
     solver = get_solver(args.solver)
-    cut = solver(graph, n_samples=args.samples, seed=args.seed)
+    extra: Dict[str, Any] = {}
+    if get_spec(args.solver).key == "portfolio" and args.model is not None:
+        extra["model"] = args.model
+    cut = solver(graph, n_samples=args.samples, seed=args.seed, **extra)
     print(f"graph      : {graph.name} ({graph.n_vertices} vertices, {graph.n_edges} edges)")
     print(f"solver     : {args.solver}")
     print(f"cut weight : {cut.weight:g}  (of total edge weight {graph.total_weight:g})")
@@ -872,6 +906,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             max_trials_per_request=args.max_trials,
             max_request_vertices=args.max_vertices,
             default_timeout_seconds=args.timeout,
+            portfolio_model=args.model,
         )
         service = SolverService(config)
         if args.socket is not None:
@@ -913,6 +948,29 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_portfolio(args: argparse.Namespace) -> int:
+    from repro.portfolio import explain_model, fit_from_paths, load_model, save_model
+
+    try:
+        if args.action == "fit":
+            model = fit_from_paths(args.paths)
+            if args.out is not None:
+                save_model(args.out, model)
+                print(f"wrote portfolio model to {args.out}")
+        else:
+            if len(args.paths) != 1:
+                raise ValidationError(
+                    "portfolio explain takes exactly one model file, got "
+                    f"{len(args.paths)}"
+                )
+            model = load_model(args.paths[0])
+        print(explain_model(model, top=args.top))
+    except (ValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "workloads": _command_workloads,
@@ -921,6 +979,7 @@ _COMMANDS = {
     "solve": _command_solve,
     "engine": _command_engine,
     "serve": _command_serve,
+    "portfolio": _command_portfolio,
     "compare": _command_compare,
     "figure3": _command_figure3,
     "figure4": _command_figure4,

@@ -1,0 +1,51 @@
+"""Portfolio meta-solver: instance features, mined priors, solver racing.
+
+Importing this package registers the ``portfolio`` solver (alias
+``auto``) with :mod:`repro.algorithms.registry` — the same
+registration-on-import convention :mod:`repro.problems` uses.  See
+DESIGN.md § "Portfolio meta-solver" for the architecture.
+"""
+
+from repro.portfolio.features import (
+    InstanceFeatures,
+    bucket_key,
+    extract_features,
+    spectral_gap_estimate,
+)
+from repro.portfolio.priors import (
+    PortfolioModel,
+    explain_model,
+    fit_from_paths,
+    fit_from_records,
+    load_model,
+    rank_solvers,
+    save_model,
+)
+from repro.portfolio.race import RaceResult, race, rung_schedule
+from repro.portfolio.solver import (
+    DEFAULT_CANDIDATES,
+    PORTFOLIO_SPEC,
+    route_circuit,
+    solve_portfolio,
+)
+
+__all__ = [
+    "InstanceFeatures",
+    "bucket_key",
+    "extract_features",
+    "spectral_gap_estimate",
+    "PortfolioModel",
+    "explain_model",
+    "fit_from_paths",
+    "fit_from_records",
+    "load_model",
+    "rank_solvers",
+    "save_model",
+    "RaceResult",
+    "race",
+    "rung_schedule",
+    "DEFAULT_CANDIDATES",
+    "PORTFOLIO_SPEC",
+    "route_circuit",
+    "solve_portfolio",
+]

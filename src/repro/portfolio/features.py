@@ -1,0 +1,235 @@
+"""Cheap, deterministic instance features for portfolio routing.
+
+The portfolio meta-solver (:mod:`repro.portfolio.solver`) decides which
+registered solver to run on an instance *before* spending any solve budget,
+so the features it routes on must be orders of magnitude cheaper than a
+solve.  Everything here is O(edges) except the spectral-gap estimate, which
+runs a handful of Lanczos iterations on the cached normalized-adjacency CSR
+(:meth:`repro.graphs.graph.Graph.normalized_adjacency_sparse`).
+
+Two properties are load-bearing and pinned by ``tests/test_portfolio.py``
+and the hypothesis pass in ``tests/test_property_based.py``:
+
+* **Determinism** — the same graph always yields bit-identical features;
+  every quantity (including the Lanczos start and restart directions) is a
+  deterministic function of the graph.
+* **Relabeling invariance** — permuting vertex labels never changes a
+  feature.  Degree/weight statistics are computed on sorted arrays, and the
+  Lanczos probe vectors are label-*equivariant* (all-ones, degrees,
+  squared-weight degrees): if every probe satisfies ``probe(P·G) =
+  P·probe(G)``, the whole recurrence commutes with the permutation and the
+  tridiagonal matrix — hence the gap estimate — is identical up to
+  floating-point summation order.
+
+Features feed two consumers: :func:`repro.portfolio.priors.rank_solvers`
+(bucketed priors mined from persisted arena runs) and the cold-start
+density heuristic in :func:`repro.portfolio.solver.route_circuit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "InstanceFeatures",
+    "extract_features",
+    "bucket_key",
+    "spectral_gap_estimate",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstanceFeatures:
+    """Relabeling-invariant summary of one problem instance.
+
+    All floats are plain Python floats (JSON-safe); ``to_dict()`` is the
+    canonical serialisation used by ``repro portfolio explain`` and the
+    serve ``routed`` diagnostics.
+    """
+
+    n_vertices: int
+    n_edges: int
+    density: float
+    degree_mean: float
+    degree_std: float
+    degree_skew: float
+    weight_mean: float
+    weight_std: float
+    weight_min: float
+    weight_max: float
+    spectral_gap: float
+    problem_class: str = "maxcut"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _equivariant_probes(graph: Graph) -> List[np.ndarray]:
+    """Label-equivariant restart directions for the Lanczos recurrence.
+
+    Each vector ``v`` satisfies ``v(P·G) = P·v(G)`` for any vertex
+    permutation ``P``, which keeps the gap estimate relabeling-invariant.
+    On vertex-transitive graphs every such probe is constant — no
+    deterministic invariant procedure can extract a second direction there,
+    and the estimate degrades gracefully to 0.0 (routing only needs a
+    coarse signal, not tight eigenvalues).
+    """
+    degrees = graph.degrees().astype(np.float64)
+    adjacency = graph.adjacency_sparse()
+    squared = np.asarray(
+        adjacency.multiply(adjacency).sum(axis=1), dtype=np.float64
+    ).ravel()
+    return [degrees, squared, degrees ** 2]
+
+
+def spectral_gap_estimate(graph: Graph, seed: Optional[int] = 0,
+                          steps: int = 8) -> float:
+    """Estimate ``lambda_1 - lambda_2`` of the normalized adjacency.
+
+    A small Lanczos iteration (full reorthogonalisation — *steps* is tiny,
+    so the O(steps^2 n) cost is irrelevant) against the cached CSR.  The
+    start vector is the all-ones direction; on breakdown (the Krylov space
+    closed early, e.g. the ones vector is an eigenvector of a regular
+    graph) the recurrence restarts along the next label-equivariant probe
+    with a connecting beta of 0.0, keeping the tridiagonal matrix
+    block-diagonal and its eigenvalues valid.  When every probe is
+    exhausted the estimate is computed from the blocks built so far.
+
+    The *seed* parameter is accepted for interface stability but unused:
+    the current probes are fully deterministic, which is what makes the
+    estimate relabeling-invariant (see the module docstring).
+    """
+    n = graph.n_vertices
+    if n < 2 or graph.n_edges == 0:
+        return 0.0
+    operator = graph.normalized_adjacency_sparse()
+    steps = max(2, min(int(steps), n))
+
+    basis = np.zeros((steps, n), dtype=np.float64)
+    alphas = np.zeros(steps, dtype=np.float64)
+    betas = np.zeros(max(steps - 1, 0), dtype=np.float64)
+    probes = _equivariant_probes(graph)
+
+    vector = np.ones(n, dtype=np.float64) / math.sqrt(n)
+    performed = 0
+    for j in range(steps):
+        basis[j] = vector
+        w = operator @ vector
+        alphas[j] = float(vector @ w)
+        # Full reorthogonalisation against every prior basis vector.
+        w -= basis[: j + 1].T @ (basis[: j + 1] @ w)
+        performed = j + 1
+        if j == steps - 1:
+            break
+        norm = float(np.linalg.norm(w))
+        if norm > 1e-10:
+            betas[j] = norm
+            vector = w / norm
+            continue
+        # Breakdown: restart along the next equivariant probe, orthogonal
+        # to the basis so far; beta stays 0.0 (block-diagonal T is valid).
+        vector = None
+        while probes:
+            probe = probes.pop(0)
+            probe = probe - basis[: j + 1].T @ (basis[: j + 1] @ probe)
+            probe_norm = float(np.linalg.norm(probe))
+            if probe_norm > 1e-8 * max(1.0, float(np.abs(probe).max()), 1.0):
+                vector = probe / probe_norm
+                break
+        if vector is None:  # invariantly-reachable Krylov space exhausted
+            break
+        betas[j] = 0.0
+
+    if performed < 2:
+        return 0.0
+    tridiag = np.diag(alphas[:performed])
+    offdiag = betas[: performed - 1]
+    tridiag += np.diag(offdiag, 1) + np.diag(offdiag, -1)
+    eigenvalues = np.linalg.eigvalsh(tridiag)
+    return float(eigenvalues[-1] - eigenvalues[-2])
+
+
+def extract_features(graph: Graph, seed: Optional[int] = 0,
+                     lanczos_steps: int = 8) -> InstanceFeatures:
+    """Compute :class:`InstanceFeatures` for *graph*.
+
+    ``problem_class`` is taken from a :class:`repro.problems.compile.CompiledGraph`'s
+    attached problem when present (``graph.problem.kind``), and defaults to
+    ``"maxcut"`` for a plain graph.
+    """
+    if not isinstance(graph, Graph):
+        raise ValidationError(
+            f"extract_features expects a Graph, got {type(graph).__name__}"
+        )
+    n = graph.n_vertices
+    degrees = np.sort(graph.degrees().astype(np.float64))
+    weights = np.sort(np.asarray(graph.edge_weights, dtype=np.float64))
+
+    if degrees.size:
+        degree_mean = float(degrees.mean())
+        degree_std = float(degrees.std())
+        if degree_std > 1e-12:
+            centered = degrees - degree_mean
+            degree_skew = float(np.mean(centered ** 3) / degree_std ** 3)
+        else:
+            degree_skew = 0.0
+    else:
+        degree_mean = degree_std = degree_skew = 0.0
+
+    if weights.size:
+        weight_stats = (float(weights.mean()), float(weights.std()),
+                        float(weights[0]), float(weights[-1]))
+    else:
+        weight_stats = (0.0, 0.0, 0.0, 0.0)
+
+    problem = getattr(graph, "problem", None)
+    problem_class = getattr(problem, "kind", None) or "maxcut"
+
+    return InstanceFeatures(
+        n_vertices=int(n),
+        n_edges=int(graph.n_edges),
+        density=float(graph.density()),
+        degree_mean=degree_mean,
+        degree_std=degree_std,
+        degree_skew=degree_skew,
+        weight_mean=weight_stats[0],
+        weight_std=weight_stats[1],
+        weight_min=weight_stats[2],
+        weight_max=weight_stats[3],
+        spectral_gap=spectral_gap_estimate(graph, seed=seed, steps=lanczos_steps),
+        problem_class=str(problem_class),
+    )
+
+
+#: Size-band upper bounds (inclusive) for :func:`bucket_key`.
+_SIZE_BANDS = ((64, "small"), (256, "medium"))
+#: Density-band upper bounds (exclusive) for :func:`bucket_key`.
+_DENSITY_BANDS = ((0.1, "sparse"), (0.4, "mid"))
+
+
+def bucket_key(problem_class: str, n_vertices: int, density: float) -> str:
+    """Coarse feature-bucket name, e.g. ``"maxcut/small/mid"``.
+
+    Deliberately uses only quantities recoverable from persisted
+    :class:`repro.arena.results.ArenaEntry` records (``n_vertices`` and
+    ``n_edges`` → density), so the prior miner and the live router always
+    agree on the bucket an instance falls into.
+    """
+    size = "large"
+    for bound, label in _SIZE_BANDS:
+        if n_vertices <= bound:
+            size = label
+            break
+    band = "dense"
+    for bound, label in _DENSITY_BANDS:
+        if density < bound:
+            band = label
+            break
+    return f"{problem_class}/{size}/{band}"

@@ -28,6 +28,15 @@ request into.  ``setup_seed`` (default 0) seeds the *offline* stages instead:
 the LIF-GW circuit's SDP solve and the problem compiler's certificate probes.
 It is part of the coalescing shape key, never of the per-trial sampling, so
 requests with different sampling seeds still share one batch.
+
+Portfolio routing
+-----------------
+``"circuit"`` (or its client-friendly alias ``"solver"``) also accepts
+``"auto"`` / ``"portfolio"``: the spec parses with ``circuit="auto"`` and
+the service resolves the actual engine circuit per instance at admission
+time via :func:`repro.portfolio.solver.route_circuit` — *before* the job
+enters the queue, so the routed request coalesces, caches, and answers
+bit-identically to one that named the chosen circuit directly.
 """
 
 from __future__ import annotations
@@ -52,10 +61,14 @@ __all__ = [
 
 KNOWN_CIRCUITS = ("lif_gw", "lif_tr")
 DEFAULT_CIRCUIT = "lif_gw"
+#: Sentinel circuit meaning "route per instance via the portfolio".
+AUTO_CIRCUIT = "auto"
+#: Wire spellings that resolve to :data:`AUTO_CIRCUIT`.
+_AUTO_NAMES = ("auto", "portfolio")
 
 _KNOWN_KEYS = frozenset({
-    "graph", "problem", "circuit", "trials", "samples", "seed", "backend",
-    "setup_seed", "timeout_seconds", "deadline_seconds",
+    "graph", "problem", "circuit", "solver", "trials", "samples", "seed",
+    "backend", "setup_seed", "timeout_seconds", "deadline_seconds",
 })
 
 
@@ -150,10 +163,24 @@ def parse_solve_payload(payload: Any) -> SolveSpec:
         )
     graph = graph_from_dict(payload["graph"]) if has_graph else None
     problem = problem_from_dict(payload["problem"]) if has_problem else None
-    circuit = str(payload.get("circuit", DEFAULT_CIRCUIT))
-    if circuit not in KNOWN_CIRCUITS:
+    # "solver" is the client-friendly alias for "circuit" (it is what the
+    # CLI calls the same concept); when both appear they must agree.
+    circuit_given = payload.get("circuit")
+    solver_given = payload.get("solver")
+    if circuit_given is not None and solver_given is not None \
+            and str(circuit_given) != str(solver_given):
         raise ValidationError(
-            f"unknown circuit {circuit!r}; known circuits: {list(KNOWN_CIRCUITS)}"
+            f"'circuit' ({circuit_given!r}) and 'solver' ({solver_given!r}) "
+            "disagree; pass one of them"
+        )
+    chosen = circuit_given if circuit_given is not None else solver_given
+    circuit = str(chosen) if chosen is not None else DEFAULT_CIRCUIT
+    if circuit in _AUTO_NAMES:
+        circuit = AUTO_CIRCUIT
+    elif circuit not in KNOWN_CIRCUITS:
+        raise ValidationError(
+            f"unknown circuit {circuit!r}; known circuits: "
+            f"{list(KNOWN_CIRCUITS) + [AUTO_CIRCUIT]}"
         )
     return SolveSpec(
         graph=graph,

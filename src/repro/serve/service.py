@@ -37,14 +37,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.engine import SolveRequest, SolveResult, coalesce_requests, solve, split_result
 from repro.serve.cache import ContentAddressedCache, content_key
-from repro.serve.protocol import SolveSpec, error_payload, parse_solve_payload
+from repro.serve.protocol import (
+    AUTO_CIRCUIT,
+    SolveSpec,
+    error_payload,
+    parse_solve_payload,
+)
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -93,6 +98,12 @@ class ServiceConfig:
         responses).
     latency_window:
         Completed-request latencies kept for the p50/p95 stats.
+    portfolio_model:
+        Optional path to a persisted :class:`repro.portfolio.priors.PortfolioModel`
+        used to route ``"solver": "auto"`` requests (loaded lazily on the
+        first auto request).  Without one, auto requests use the
+        deterministic cold heuristic of
+        :func:`repro.portfolio.solver.route_circuit`.
     """
 
     max_queue_depth: int = 64
@@ -104,6 +115,7 @@ class ServiceConfig:
     compile_cache_entries: int = 32
     result_cache_entries: int = 256
     latency_window: int = 512
+    portfolio_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -127,7 +139,7 @@ class ServeJob:
     __slots__ = (
         "job_id", "spec", "graph", "problem", "lifter", "certificate",
         "shape_key", "result_key", "submitted_at", "admission_deadline",
-        "_event", "response",
+        "_event", "response", "routed",
     )
 
     def __init__(
@@ -139,9 +151,14 @@ class ServeJob:
         lifter,
         certificate,
         admission_deadline: float,
+        routed: bool = False,
     ) -> None:
         self.job_id = job_id
         self.spec = spec
+        # True when an "auto" request had its circuit resolved by the
+        # portfolio router at admission; keys below use the resolved
+        # circuit, so routed jobs coalesce/cache exactly like direct ones.
+        self.routed = routed
         self.graph = graph
         self.problem = problem
         self.lifter = lifter
@@ -226,6 +243,9 @@ class SolverService:
         self._engine_jobs = 0
         self._engine_trials = 0
         self._coalesced_jobs = 0
+        self._routed_requests = 0
+        self._portfolio_model: Any = None
+        self._portfolio_loaded = False
         self._latencies: deque = deque(maxlen=self.config.latency_window)
         if autostart:
             self.start()
@@ -292,6 +312,16 @@ class SolverService:
             graph, lifter, certificate = self._compile(spec)
         else:
             graph = spec.graph
+        routed = False
+        if spec.circuit == AUTO_CIRCUIT:
+            # Resolve "auto" before the job (and its shape/result keys)
+            # exists: downstream, a routed request is indistinguishable from
+            # one that named the chosen circuit — identical coalescing,
+            # caching, and bit-identical answers.
+            spec = replace(spec, circuit=self._route(graph))
+            routed = True
+            with self._metrics_lock:
+                self._routed_requests += 1
         if self._draining:
             self._count_rejection("draining")
             raise AdmissionError("draining", "service is draining; not accepting requests")
@@ -316,12 +346,14 @@ class SolverService:
         job = ServeJob(
             job_id, spec, graph, problem, lifter, certificate,
             admission_deadline=time.perf_counter() + timeout,
+            routed=routed,
         )
         cached = self._results.get(job.result_key)
         if cached is not None:
             response = dict(cached)
             response["job_id"] = job.job_id
             response["cached"] = True
+            response["routed"] = job.routed
             response["wait_seconds"] = 0.0
             job.complete(response)
             with self._metrics_lock:
@@ -375,6 +407,20 @@ class SolverService:
             return graph, lifter, certificate
 
         return self._compiles.get_or_build(key, build)
+
+    def _route(self, graph) -> str:
+        """Resolve an ``"auto"`` request to a concrete engine circuit."""
+        from repro.portfolio.solver import route_circuit
+
+        if not self._portfolio_loaded:
+            # Benign under concurrent admission: two threads may both load
+            # the model; both land on the same object semantics.
+            if self.config.portfolio_model is not None:
+                from repro.portfolio.priors import load_model
+
+                self._portfolio_model = load_model(self.config.portfolio_model)
+            self._portfolio_loaded = True
+        return route_circuit(graph, model=self._portfolio_model)
 
     def _count_rejection(self, reason: str) -> None:
         with self._metrics_lock:
@@ -493,6 +539,7 @@ class SolverService:
             response = self._shape_response(job, part, batch_jobs=len(batch))
             self._results.put(job.result_key, response)
             final = dict(response)
+            final["routed"] = job.routed
             final["wait_seconds"] = float(now - job.submitted_at)
             job.complete(final)
 
@@ -573,6 +620,7 @@ class SolverService:
                 "admitted": self._admitted,
                 "completed": self._completed,
                 "timed_out": self._timed_out,
+                "routed": self._routed_requests,
                 "rejected": dict(self._rejected),
                 "engine": {
                     "invocations": invocations,

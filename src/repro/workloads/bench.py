@@ -28,6 +28,15 @@ baseline (``benchmarks/baseline.json``):
     is the *engine invocation* ratio serial/coalesced — deterministic, so
     its floor gates the coalescing guarantee rather than wall-clock noise;
     both wall times are still recorded.
+``portfolio-route``
+    The portfolio meta-solver's cold race (:mod:`repro.portfolio`) vs
+    running every candidate alone at the full budget.  ``speedup`` here is
+    the *quality ratio* — race best cut ÷ best single-solver best cut —
+    which is deterministic (paired per-trial seeds) and expected near, and
+    allowed slightly below, 1: the race spends a fraction of the
+    every-candidate budget, and its floor gates how much cut quality the
+    halving may give up.  Wall times of both paths are recorded so the
+    budget saving stays visible in the artifact.
 
 Each scenario is one shard unit, so the bench workload itself shards and
 resumes like everything else.  Results are :class:`BenchRecord` rows — a
@@ -116,6 +125,7 @@ def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
     scenarios.append(("sharded:arena",))
     scenarios.append(("problems-compile",))
     scenarios.append(("serve-batching",))
+    scenarios.append(("portfolio-route",))
     return scenarios
 
 
@@ -369,6 +379,74 @@ def _run_serve_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
+def _run_portfolio_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.portfolio.race import race
+    from repro.workloads.spec import Budget as _Budget
+
+    # The cold-routing claim: a successive-halving race over K candidates
+    # recovers (nearly) the best single candidate's cut while spending a
+    # fraction of the run-everyone budget.  Both paths use the same paired
+    # per-trial seeds, so the quality ratio is exactly reproducible and the
+    # replay check below is bit-exact.
+    graph = _bench_graph(spec)
+    candidates = tuple(dict(spec.params).get(
+        "portfolio_candidates", ("lif_tr", "trevisan", "local_search")
+    ))
+    budget = _Budget(
+        n_trials=spec.budget.n_trials, n_samples=spec.budget.n_samples
+    )
+    backend = spec.policy.backend
+
+    started = time.perf_counter()
+    raced = race(graph, candidates, budget=budget, seed=spec.seed,
+                 backend=backend)
+    race_elapsed = time.perf_counter() - started
+
+    # Reference: every candidate alone at the full budget (a k=1 race is
+    # exactly the single solver run with the same seed derivation).
+    started = time.perf_counter()
+    singles = {
+        name: race(graph, [name], budget=budget, seed=spec.seed,
+                   backend=backend).best_cut.weight
+        for name in candidates
+    }
+    singles_elapsed = time.perf_counter() - started
+    best_single = max(singles.values())
+
+    # Determinism check: replaying the winner alone with the trial count it
+    # actually consumed must reproduce the race's winning weight bit-exactly.
+    replay = race(
+        graph, [raced.winner],
+        budget=_Budget(n_trials=max(1, raced.trials_used[raced.winner]),
+                       n_samples=spec.budget.n_samples),
+        seed=spec.seed, backend=backend,
+    )
+    return {
+        "scenario": "portfolio-route",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(race_elapsed),
+        "baseline_seconds": float(singles_elapsed),
+        "speedup": float(raced.best_cut.weight / best_single)
+                   if best_single > 0 else 1.0,
+        "detail": {
+            "graph": graph.name,
+            "candidates": list(candidates),
+            "winner": raced.winner,
+            "race_best_weight": float(raced.best_cut.weight),
+            "best_single_weight": float(best_single),
+            "single_best_weights": {k: float(v) for k, v in singles.items()},
+            "race_total_trials": int(raced.total_trials),
+            "full_total_trials": int(budget.n_trials * len(candidates)),
+            "trials_used": dict(raced.trials_used),
+            "race_wall_seconds": float(race_elapsed),
+            "singles_wall_seconds": float(singles_elapsed),
+            "results_match": bool(
+                replay.best_cut.weight == raced.best_cut.weight
+            ),
+        },
+    }
+
+
 def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
     """Run one bench scenario and return its JSON-safe measurement payload."""
     if scenario.startswith("engine:"):
@@ -379,6 +457,8 @@ def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
         return _run_problems_scenario(spec)
     if scenario == "serve-batching":
         return _run_serve_scenario(spec)
+    if scenario == "portfolio-route":
+        return _run_portfolio_scenario(spec)
     raise ValidationError(f"unknown bench scenario {scenario!r}")
 
 

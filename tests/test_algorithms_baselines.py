@@ -99,10 +99,15 @@ class TestRegistry:
 
 class TestSolverSpecs:
     def test_every_canonical_key_has_a_spec(self):
+        # The portfolio meta-solver registers itself on import of
+        # repro.portfolio (pulled in by repro.workloads), so make the
+        # expectation independent of which tests ran first.
+        import repro.portfolio  # noqa: F401 — registration side effect
+
         assert set(SOLVER_SPECS) == {
             "lif_gw", "lif_tr", "gw", "trevisan", "random",
             "annealing", "tempering", "local_search",
-            "maxdicut_gw", "max2sat_gw",
+            "maxdicut_gw", "max2sat_gw", "portfolio",
         }
 
     def test_specs_carry_capability_metadata(self):

@@ -267,6 +267,56 @@ class TestArenaResult:
         # File is plain JSON: a fresh parse sees the same payload.
         assert json.loads(path.read_text())["experiment"] == "compare"
 
+    @staticmethod
+    def _entry(solver, graph_name, cut_ratio, elapsed_seconds, wins_weight=2.0):
+        return ArenaEntry(
+            solver=solver, graph_name=graph_name, n_vertices=4, n_edges=4,
+            total_weight=4.0, best_weight=wins_weight, mean_weight=wins_weight,
+            cut_ratio=cut_ratio, n_trials=1, n_samples=8,
+            elapsed_seconds=elapsed_seconds, samples_per_second=0.0,
+            used_engine=False,
+        )
+
+    def test_tied_ratios_rank_deterministically(self):
+        """Regression: aggregate ties must not break on wall-clock timings.
+
+        Two solvers with identical mean ratios and win counts used to be
+        ordered by elapsed_seconds, so the leaderboard (and ``winner()``)
+        flapped between runs.  Ties now fall through to the solver name.
+        """
+        def build(elapsed_b, elapsed_z):
+            entries = [
+                self._entry("zeta", "g1", 1.0, elapsed_z),
+                self._entry("beta", "g1", 1.0, elapsed_b),
+            ]
+            return ArenaResult(
+                suite="custom", solvers=("zeta", "beta"), graph_names=("g1",),
+                n_trials=1, n_samples=8, seed=0, entries=entries,
+            )
+
+        fast_beta = build(elapsed_b=0.001, elapsed_z=9.0)
+        slow_beta = build(elapsed_b=9.0, elapsed_z=0.001)
+        assert [r["solver"] for r in fast_beta.aggregate()] == ["beta", "zeta"]
+        assert [r["solver"] for r in slow_beta.aggregate()] == ["beta", "zeta"]
+        assert fast_beta.winner() == slow_beta.winner() == "beta"
+
+    def test_tied_ratio_breaks_on_wins_before_name(self):
+        entries = [
+            # "alpha" and "zed" share the same mean ratio (0.5), but zed has
+            # an outright per-graph win so it must rank first despite its name.
+            self._entry("zed", "g1", 1.0, 5.0),
+            self._entry("zed", "g2", 0.0, 5.0, wins_weight=0.0),
+            self._entry("alpha", "g1", 0.5, 0.001),
+            self._entry("alpha", "g2", 0.5, 0.001),
+        ]
+        result = ArenaResult(
+            suite="custom", solvers=("zed", "alpha"), graph_names=("g1", "g2"),
+            n_trials=1, n_samples=8, seed=0, entries=entries,
+        )
+        rows = result.aggregate()
+        assert [r["solver"] for r in rows] == ["zed", "alpha"]
+        assert rows[0]["wins"] == 1 and rows[1]["wins"] == 0
+
 
 class TestAsciiBarChart:
     def test_scales_to_peak(self):

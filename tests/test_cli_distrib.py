@@ -173,7 +173,7 @@ class TestBenchCommand:
         scenarios = {r["scenario"] for r in payload["results"]}
         assert scenarios == {
             "engine:lif_gw", "engine:lif_tr", "sharded:arena",
-            "problems-compile", "serve-batching",
+            "problems-compile", "serve-batching", "portfolio-route",
         }
 
     def test_check_passes_against_committed_baseline(self, bench_run, capsys):

@@ -47,6 +47,7 @@ PUBLIC_PACKAGES = [
     "repro.neurons",
     "repro.parallel",
     "repro.plotting",
+    "repro.portfolio",
     "repro.problems",
     "repro.sdp",
     "repro.serve",

@@ -473,6 +473,40 @@ class TestCoalesce:
         with pytest.raises(ValidationError):
             split_result(result, [(1, 1)])
 
+    def test_single_request_coalesce_round_trips(self, small_er_graph):
+        # A batch of one is legal: the merged request is the request, and
+        # the split part is bit-identical to a standalone run.  Pinned
+        # because the serve worker takes this path whenever the queue holds
+        # exactly one job.
+        from repro.engine import coalesce_requests, split_result
+
+        circuit = _tr(small_er_graph)
+        request = SolveRequest(circuit=circuit, n_trials=3, n_samples=8, seed=4)
+        merged, slices = coalesce_requests([request])
+        assert slices == [(0, 3)]
+        assert merged.n_trials == 3
+        part, = split_result(solve(merged), slices)
+        _assert_bit_identical(part, solve(request))
+        # Even a batch of one carries the batch markers — the flag records
+        # the code path taken, not the occupancy.
+        assert part.metadata["coalesced"] is True
+        assert part.metadata["batch_trials"] == 3
+
+    def test_split_result_rejects_empty_and_reversed_ranges(self, small_er_graph):
+        # Empty trial ranges are refused loudly (a zero-trial response has
+        # no best cut to report), as are reversed and negative ranges.
+        from repro.engine import split_result
+
+        result = solve(SolveRequest(
+            circuit=_tr(small_er_graph), n_trials=3, n_samples=4, seed=1
+        ))
+        for lo, hi in [(0, 0), (3, 3), (2, 1), (-1, 1)]:
+            with pytest.raises(ValidationError):
+                split_result(result, [(lo, hi)])
+        # A valid slice among invalid ones still fails atomically.
+        with pytest.raises(ValidationError):
+            split_result(result, [(0, 2), (2, 2)])
+
 
 class TestDeadline:
     """Budget.max_seconds / served timeouts as a real engine deadline."""

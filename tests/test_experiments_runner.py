@@ -65,6 +65,7 @@ def _toy_instances():
     from repro.experiments.runner import run_circuit_trials
     from repro.distrib import ShardCheckpoint
     from repro.graphs.generators import erdos_renyi
+    from repro.portfolio import PortfolioModel
     from repro.workloads import BenchRecord, RunReport
 
     graph = erdos_renyi(10, 0.5, seed=0, name="toy10")
@@ -109,6 +110,15 @@ def _toy_instances():
             scenario="engine:lif_tr", suite="er-small", wall_seconds=0.5,
             baseline_seconds=1.0, speedup=2.0, detail={"results_match": True},
         ),
+        PortfolioModel(
+            buckets={"maxcut/small/mid": [
+                {"solver": "trevisan", "mean_ratio": 1.0,
+                 "count": 1, "wins": 1},
+            ]},
+            overall=[{"solver": "trevisan", "mean_ratio": 1.0,
+                      "count": 1, "wins": 1}],
+            n_reports=1, n_records=1, sources=["toy.json"],
+        ),
     ]
     return {type(instance).__name__: instance for instance in instances}
 
@@ -126,7 +136,7 @@ class TestEveryRegisteredTypeRoundTrips:
     @pytest.mark.parametrize("type_name", [
         "Table1Row", "AblationPoint", "Figure3Cell", "Figure4Panel",
         "SolveResult", "ArenaEntry", "RunReport", "ShardCheckpoint",
-        "BenchRecord",
+        "BenchRecord", "PortfolioModel",
     ])
     def test_round_trip(self, type_name, tmp_path):
         instance = _toy_instances()[type_name]

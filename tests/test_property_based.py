@@ -235,3 +235,78 @@ class TestAnalysisProperties:
         assert points[0] >= 1
         assert points[-1] == n_samples
         assert np.all(np.diff(points) > 0)
+
+
+# ---------------------------------------------------------------------------
+# Portfolio meta-solver invariants
+# ---------------------------------------------------------------------------
+
+class TestPortfolioProperties:
+    @SETTINGS
+    @given(small_graphs(), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_features_deterministic_and_relabel_invariant(self, graph, perm_seed):
+        from repro.portfolio import InstanceFeatures, extract_features
+        import dataclasses
+
+        perm = np.random.default_rng(perm_seed).permutation(graph.n_vertices)
+        relabeled = Graph(
+            graph.n_vertices,
+            [(int(perm[u]), int(perm[v])) for u, v in graph.edges],
+        )
+        first = extract_features(graph)
+        assert first == extract_features(graph)
+        second = extract_features(relabeled)
+        for field in dataclasses.fields(InstanceFeatures):
+            a, b = getattr(first, field.name), getattr(second, field.name)
+            if isinstance(a, float):
+                assert abs(a - b) <= 1e-8, field.name
+            else:
+                assert a == b, field.name
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=64))
+    def test_rung_schedule_bounds(self, n_solvers, n_trials):
+        from repro.portfolio import rung_schedule
+
+        targets = rung_schedule(n_solvers, n_trials)
+        assert targets and targets[-1] == n_trials
+        assert all(1 <= t <= n_trials for t in targets)
+        assert all(a < b for a, b in zip(targets, targets[1:]))
+        # A full-race worst case never exceeds K * T total trials.
+        assert n_solvers * targets[-1] <= n_solvers * n_trials
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_race_respects_trial_budget(self, n_trials, seed):
+        from repro.portfolio import race
+        from repro.workloads.spec import Budget
+
+        graph = erdos_renyi(10, 0.4, seed=5)
+        result = race(graph, ["local_search", "trevisan"],
+                      budget=Budget(n_trials=n_trials, n_samples=8),
+                      seed=seed, use_engine=False)
+        assert all(t <= n_trials for t in result.trials_used.values())
+        assert result.total_trials <= 2 * n_trials
+        assert result.trials_used["trevisan"] <= 1  # deterministic: one trial
+
+    @SETTINGS
+    @given(rows=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.integers(min_value=2, max_value=400),
+                  st.floats(min_value=0.0, max_value=1.0,
+                            allow_nan=False)),
+        min_size=1, max_size=20))
+    def test_model_round_trips_through_json(self, rows, tmp_path_factory):
+        from repro.portfolio import fit_from_records, load_model, save_model
+
+        records = [
+            {"solver": solver, "n_vertices": n, "cut_ratio": ratio,
+             "n_edges": min(3 * n, n * (n - 1) // 2)}
+            for solver, n, ratio in rows
+        ]
+        model = fit_from_records(records, sources=["synthetic"])
+        path = tmp_path_factory.mktemp("portfolio") / "model.json"
+        save_model(path, model)
+        assert load_model(path) == model

@@ -176,6 +176,30 @@ class TestProtocol:
         with pytest.raises(ValidationError):
             solve_payload(graph=g, bogus=1)
 
+    def test_solver_key_aliases_circuit(self):
+        graph = graph_to_dict(_graph())
+        # "solver" is the client-friendly spelling of "circuit".
+        spec = parse_solve_payload({"graph": graph, "solver": "lif_tr"})
+        assert spec.circuit == "lif_tr"
+        # Agreeing duplicates are tolerated; disagreeing ones are not.
+        spec = parse_solve_payload(
+            {"graph": graph, "solver": "lif_tr", "circuit": "lif_tr"}
+        )
+        assert spec.circuit == "lif_tr"
+        with pytest.raises(ValidationError):
+            parse_solve_payload(
+                {"graph": graph, "solver": "lif_tr", "circuit": "lif_gw"}
+            )
+        with pytest.raises(ValidationError):
+            parse_solve_payload({"graph": graph, "solver": "warp"})
+
+    def test_auto_circuit_parses_to_sentinel(self):
+        graph = graph_to_dict(_graph())
+        for spelling in ("auto", "portfolio"):
+            for key in ("solver", "circuit"):
+                spec = parse_solve_payload({"graph": graph, key: spelling})
+                assert spec.circuit == "auto"
+
 
 class TestServiceIdentity:
     def test_served_lif_tr_matches_direct_engine_run(self):
@@ -437,3 +461,75 @@ class TestTransports:
             ServeClient()
         with pytest.raises(ValidationError):
             ServeClient(port=1, socket_path="/tmp/x")
+
+
+class TestStatsEdgeCases:
+    """/stats percentile reporting at the empty and single-sample corners."""
+
+    def test_percentile_of_no_samples_is_zero(self):
+        assert SolverService._percentile([], 0.50) == 0.0
+        assert SolverService._percentile([], 0.95) == 0.0
+        stats = SolverService(autostart=False).stats()
+        assert stats["latency"]["count"] == 0
+        assert stats["latency"]["p50_seconds"] == 0.0
+        assert stats["latency"]["p95_seconds"] == 0.0
+
+    def test_percentile_of_one_sample_is_that_sample(self):
+        assert SolverService._percentile([0.25], 0.50) == 0.25
+        assert SolverService._percentile([0.25], 0.95) == 0.25
+        with SolverService() as service:
+            response = service.solve(
+                _payload(_graph(seed=21), trials=1, samples=4, seed=0),
+                timeout=60,
+            )
+            assert response["status"] == "ok"
+            latency = service.stats()["latency"]
+        assert latency["count"] == 1
+        assert latency["p50_seconds"] == latency["p95_seconds"] >= 0.0
+
+
+class TestBatchCapBoundaries:
+    """max_batch_trials at its boundaries: exact fill, spill, over-cap solo."""
+
+    def test_exact_fill_coalesces_into_one_batch(self):
+        g = _graph(seed=22)
+        service = SolverService(
+            ServiceConfig(max_batch_trials=4), autostart=False
+        )
+        jobs = [service.submit(_payload(g, trials=2, samples=8, seed=s))
+                for s in (0, 1)]
+        service.start()
+        responses = [job.wait(60) for job in jobs]
+        service.shutdown()
+        assert all(r["status"] == "ok" and r["coalesced"] for r in responses)
+        assert service.stats()["engine"]["invocations"] == 1
+
+    def test_one_trial_over_the_cap_spills_to_a_second_batch(self):
+        g = _graph(seed=23)
+        service = SolverService(
+            ServiceConfig(max_batch_trials=4), autostart=False
+        )
+        jobs = [service.submit(_payload(g, trials=t, samples=8, seed=s))
+                for s, t in enumerate((2, 2, 1))]
+        service.start()
+        responses = [job.wait(60) for job in jobs]
+        service.shutdown()
+        assert all(r["status"] == "ok" for r in responses)
+        # 2 + 2 fills the cap exactly; the 1-trial job spills.
+        assert service.stats()["engine"]["invocations"] == 2
+        assert [r["coalesced"] for r in responses] == [True, True, False]
+
+    def test_single_job_above_the_cap_rides_alone(self):
+        g = _graph(seed=24)
+        service = SolverService(
+            ServiceConfig(max_batch_trials=2), autostart=False
+        )
+        job = service.submit(_payload(g, trials=3, samples=8, seed=0))
+        service.start()
+        response = job.wait(60)
+        service.shutdown()
+        # The cap bounds *coalescing*, not a single request: the job runs
+        # whole in one engine invocation.
+        assert response["status"] == "ok" and not response["coalesced"]
+        assert response["n_trials"] == 3
+        assert service.stats()["engine"]["invocations"] == 1
