@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The scale subsystem (repro.scale) — runs in < 5 s.
+
+Demonstrates the large-instance pipeline, end to end, without ever
+materialising a dense (n, n) matrix:
+
+1. generate a 20k-vertex Barabási–Albert graph with the CSR-native
+   vectorised generator (milliseconds, not minutes),
+2. compute its minimum normalized-adjacency eigenpair with the randomized
+   sketch (``method="sketch"``) and round it to a cut with the
+   O(m + n log n) sweep,
+3. evolve the graph through random edge-delta batches
+   (:class:`repro.scale.stream.EdgeStream`) with fingerprint-chained
+   :class:`repro.scale.stream.GraphVersion` snapshots,
+4. re-solve each version *warm* from the previous best cut — a handful of
+   greedy flips instead of a fresh spectral solve.
+
+Usage:
+    python examples/scale_graphs.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.scale import (
+    EdgeStream,
+    GraphVersion,
+    scale_barabasi_albert,
+    warm_resolve,
+)
+from repro.spectral.trevisan import trevisan_sweep_cut
+
+N_VERTICES = 20_000
+SEED = 0
+
+
+def main() -> None:
+    # 1. CSR-native generation -------------------------------------------
+    started = time.perf_counter()
+    graph = scale_barabasi_albert(N_VERTICES, 3, seed=SEED)
+    generate_seconds = time.perf_counter() - started
+    print(f"generated {graph.name}: {graph.n_vertices} vertices, "
+          f"{graph.n_edges} edges in {generate_seconds * 1e3:.0f} ms")
+    assert graph._adjacency is None  # the dense path was never touched
+
+    # 2. Sketched Trevisan rounding --------------------------------------
+    started = time.perf_counter()
+    result = trevisan_sweep_cut(graph, method="sketch", seed=SEED)
+    solve_seconds = time.perf_counter() - started
+    total = float(graph.edge_weights.sum())
+    print(f"sketched sweep cut: weight {result.cut.weight:.0f} "
+          f"({result.cut.weight / total:.1%} of total edge weight, "
+          f"eigenvalue {result.eigenvalue:.4f}) in {solve_seconds:.2f} s")
+
+    # 3 + 4. Evolving timeline with warm re-solves -----------------------
+    stream = EdgeStream.random(graph, n_steps=3, deltas_per_step=64, seed=SEED)
+    version = GraphVersion.initial(graph)
+    previous = result.cut
+    for step, batch in enumerate(stream, start=1):
+        version = version.apply(batch)
+        started = time.perf_counter()
+        previous = warm_resolve(version.graph, previous=previous, max_flips=128)
+        warm_seconds = time.perf_counter() - started
+        print(f"  v{version.version}: {len(batch)} deltas -> "
+              f"{version.graph.n_edges} edges, warm re-solve "
+              f"weight {previous.weight:.0f} in {warm_seconds * 1e3:.0f} ms "
+              f"(parent fp {version.parent_fingerprint[:8]})")
+
+    print("replaying these deltas reproduces every fingerprint exactly — "
+          "versions are content-addressed.")
+
+
+if __name__ == "__main__":
+    main()

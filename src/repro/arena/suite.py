@@ -15,6 +15,10 @@ Built-in suites cover the scenario spread the paper's evaluation implies:
     Table I datasets (hubs stress local methods).
 ``empirical-small``
     The three smallest graphs from the paper's Table I registry.
+``scale-small`` / ``scale-large``
+    The CSR-native scale-free family of :mod:`repro.scale.generators`
+    (Barabási–Albert, Watts–Strogatz, stochastic Kronecker) at arena scale
+    and at the 50k–100k-vertex scale the sketched spectral path targets.
 
 Suites are extensible at runtime: :func:`register_suite` makes a new key
 immediately available to :func:`repro.arena.run_arena` and the
@@ -119,6 +123,36 @@ def _build_empirical_small(seed: int) -> List[Graph]:
     ]
 
 
+def _build_scale_small(seed: int) -> List[Graph]:
+    # The generators tag the seed with per-generator spawn keys, so the
+    # plain suite seed yields independent streams in each.
+    from repro.scale.generators import (
+        scale_barabasi_albert,
+        scale_watts_strogatz,
+        stochastic_kronecker,
+    )
+
+    return [
+        scale_barabasi_albert(512, 3, seed=seed, name="scale-ba-512-3"),
+        scale_watts_strogatz(512, 6, 0.1, seed=seed, name="scale-ws-512-6"),
+        stochastic_kronecker(9, 4, seed=seed, name="scale-kron-9-4"),
+    ]
+
+
+def _build_scale_large(seed: int) -> List[Graph]:
+    from repro.scale.generators import (
+        scale_barabasi_albert,
+        scale_watts_strogatz,
+        stochastic_kronecker,
+    )
+
+    return [
+        scale_barabasi_albert(100_000, 3, seed=seed, name="scale-ba-100k-3"),
+        scale_watts_strogatz(50_000, 6, 0.05, seed=seed, name="scale-ws-50k-6"),
+        stochastic_kronecker(16, 8, seed=seed, name="scale-kron-16-8"),
+    ]
+
+
 #: Suite-key → :class:`GraphSuite` registry.
 SUITES: Dict[str, GraphSuite] = {}
 
@@ -140,6 +174,10 @@ for _suite in (
                _build_structured_small),
     GraphSuite("powerlaw-small", "2 Barabási–Albert scale-free graphs", _build_powerlaw_small),
     GraphSuite("empirical-small", "3 smallest Table I registry graphs", _build_empirical_small),
+    GraphSuite("scale-small", "3 CSR-native scale-free graphs at arena scale (n=256..512)",
+               _build_scale_small),
+    GraphSuite("scale-large", "3 CSR-native scale-free graphs, n=50k..100k (sketch-path scale)",
+               _build_scale_large),
 ):
     register_suite(_suite)
 del _suite

@@ -471,12 +471,38 @@ def _bench_merge(
     return bench_outcome(records, spec)
 
 
+# ---------------------------------------------------------------------------
+# evolving: unit = one (graph, trial) timeline
+# ---------------------------------------------------------------------------
+
+
+def _evolving_units(spec: WorkloadSpec, n_shards: int) -> List[Unit]:
+    from repro.workloads.evolving import evolving_units
+
+    return [tuple(unit) for unit in evolving_units(spec, n_shards)]
+
+
+def _evolving_run(spec: WorkloadSpec, units: Sequence[Unit]) -> List[Any]:
+    from repro.workloads.evolving import run_evolving_unit
+
+    return [run_evolving_unit(spec, tuple(unit)) for unit in units]
+
+
+def _evolving_merge(
+    spec: WorkloadSpec, units: Sequence[Unit], payloads: Sequence[Any]
+) -> WorkloadOutcome:
+    from repro.workloads.evolving import evolving_outcome
+
+    return evolving_outcome(list(payloads), spec)
+
+
 for _name, _adapter in (
     ("figure3", ShardAdapter(_figure3_units, _figure3_run, _figure3_merge)),
     ("figure4", ShardAdapter(_figure4_units, _figure4_run, _figure4_merge)),
     ("table1", ShardAdapter(_table1_units, _table1_run, _table1_merge)),
     ("ablation", ShardAdapter(_ablation_units, _ablation_run, _ablation_merge)),
     ("bench", ShardAdapter(_bench_units, _bench_run, _bench_merge)),
+    ("evolving", ShardAdapter(_evolving_units, _evolving_run, _evolving_merge)),
 ):
     register_shard_adapter(_name, _adapter)
 del _name, _adapter

@@ -208,8 +208,17 @@ def extract_features(graph: Graph, seed: Optional[int] = 0,
     )
 
 
-#: Size-band upper bounds (inclusive) for :func:`bucket_key`.
-_SIZE_BANDS = ((64, "small"), (256, "medium"))
+#: Size-band upper bounds (inclusive) for :func:`bucket_key`.  The upper
+#: bands (10k/100k/1M, then "huge") keep the scale-subsystem generators'
+#: instances from all collapsing into one bucket — a 100k-vertex sketch-path
+#: graph and a 1k-vertex arena graph want different priors.
+_SIZE_BANDS = (
+    (64, "small"),
+    (256, "medium"),
+    (10_000, "large"),
+    (100_000, "xlarge"),
+    (1_000_000, "xxlarge"),
+)
 #: Density-band upper bounds (exclusive) for :func:`bucket_key`.
 _DENSITY_BANDS = ((0.1, "sparse"), (0.4, "mid"))
 
@@ -222,7 +231,7 @@ def bucket_key(problem_class: str, n_vertices: int, density: float) -> str:
     ``n_edges`` → density), so the prior miner and the live router always
     agree on the bucket an instance falls into.
     """
-    size = "large"
+    size = "huge"
     for bound, label in _SIZE_BANDS:
         if n_vertices <= bound:
             size = label

@@ -11,6 +11,17 @@ algorithm: instead of thresholding at zero, every threshold defined by the
 sorted eigenvector entries is tried and the best resulting cut kept.  The
 sweep cut never does worse than the simple threshold and is used as an
 extension/ablation in the experiments.
+
+Large graphs: the eigensolver is memory-aware.  ``method="auto"`` stays on
+the dense path only below :data:`DENSE_AUTO_MAX_VERTICES` vertices, runs
+ARPACK on the sparse CSR up to :data:`SKETCH_AUTO_MIN_VERTICES`, and above
+that switches to the randomized sketch of
+:func:`repro.scale.sketch.sketched_minimum_eigenpair`.  Explicitly asking
+for ``method="dense"`` beyond :data:`DENSE_METHOD_MAX_VERTICES` raises a
+:class:`~repro.utils.validation.ValidationError` instead of silently
+allocating an ``(n, n)`` matrix.  The sweep itself also goes sparse above
+:data:`_BATCH_SWEEP_MAX_VERTICES` via
+:func:`repro.scale.sketch.sweep_cut_from_scores`.
 """
 
 from __future__ import annotations
@@ -31,7 +42,26 @@ __all__ = [
     "trevisan_simple_spectral",
     "trevisan_sweep_cut",
     "TrevisanResult",
+    "DENSE_AUTO_MAX_VERTICES",
+    "DENSE_METHOD_MAX_VERTICES",
+    "SKETCH_AUTO_MIN_VERTICES",
 ]
+
+#: ``method="auto"`` uses the dense eigensolver below this many vertices.
+DENSE_AUTO_MAX_VERTICES = 300
+
+#: Explicit ``method="dense"`` refuses graphs larger than this — a dense
+#: ``(n, n)`` float64 matrix at this size is already ~128 MiB.
+DENSE_METHOD_MAX_VERTICES = 4096
+
+#: ``method="auto"`` switches from ARPACK to the randomized sketch above
+#: this many vertices (ARPACK's repeated re-orthogonalisation passes start
+#: to dominate; the sketch needs a fixed, small number of sparse mat-mats).
+SKETCH_AUTO_MIN_VERTICES = 32768
+
+#: The batched dense sweep materialises an ``(n, n)`` assignment matrix;
+#: above this size the ``O(m + n log n)`` scatter-add sweep is used instead.
+_BATCH_SWEEP_MAX_VERTICES = 2048
 
 
 def minimum_eigenvector(
@@ -42,16 +72,33 @@ def minimum_eigenvector(
     Parameters
     ----------
     method:
-        ``"dense"`` (numpy.linalg.eigh), ``"lanczos"`` (own implementation),
-        ``"arpack"`` (scipy eigsh), or ``"auto"`` (dense below 300 vertices,
-        ARPACK above).
+        ``"dense"`` (numpy.linalg.eigh; refuses graphs above
+        :data:`DENSE_METHOD_MAX_VERTICES` vertices), ``"lanczos"`` (own
+        implementation), ``"arpack"`` (scipy eigsh), ``"sketch"``
+        (randomized subspace sketch,
+        :func:`repro.scale.sketch.sketched_minimum_eigenpair`), or
+        ``"auto"`` — dense below :data:`DENSE_AUTO_MAX_VERTICES`, ARPACK up
+        to :data:`SKETCH_AUTO_MIN_VERTICES`, the sketch above that.  The
+        auto policy is memory-aware: no path ever densifies a graph larger
+        than :data:`DENSE_METHOD_MAX_VERTICES`.
     """
     n = graph.n_vertices
     if n == 0:
         return 0.0, np.zeros(0)
     if method == "auto":
-        method = "dense" if n < 300 else "arpack"
+        if n < DENSE_AUTO_MAX_VERTICES:
+            method = "dense"
+        elif n <= SKETCH_AUTO_MIN_VERTICES:
+            method = "arpack"
+        else:
+            method = "sketch"
     if method == "dense":
+        if n > DENSE_METHOD_MAX_VERTICES:
+            raise ValidationError(
+                f"method='dense' would allocate a ({n}, {n}) matrix; graphs "
+                f"above {DENSE_METHOD_MAX_VERTICES} vertices must use "
+                f"'arpack', 'lanczos', 'sketch', or 'auto'"
+            )
         N = graph.normalized_adjacency()
         eigenvalues, eigenvectors = np.linalg.eigh(N)
         return float(eigenvalues[0]), eigenvectors[:, 0]
@@ -59,15 +106,27 @@ def minimum_eigenvector(
         N = graph.to_csr(normalized=True)
         return lanczos_extreme_eigenpair(N, which="smallest", seed=seed)
     if method == "arpack":
-        N = graph.to_csr(normalized=True).asfptype()
-        if n <= 3 or graph.n_edges == 0:
+        if graph.n_edges == 0:
+            # The normalized adjacency is the zero matrix: eigenvalue 0 with
+            # the first coordinate vector, matching the dense convention —
+            # without densifying (the old fallback allocated (n, n) zeros).
+            vector = np.zeros(n, dtype=np.float64)
+            vector[0] = 1.0
+            return 0.0, vector
+        if n <= 3:
             dense = graph.normalized_adjacency()
             eigenvalues, eigenvectors = np.linalg.eigh(dense)
             return float(eigenvalues[0]), eigenvectors[:, 0]
+        N = graph.to_csr(normalized=True).asfptype()
         eigenvalues, eigenvectors = spla.eigsh(N, k=1, which="SA")
         return float(eigenvalues[0]), eigenvectors[:, 0]
+    if method == "sketch":
+        from repro.scale.sketch import sketched_minimum_eigenpair
+
+        return sketched_minimum_eigenpair(graph, seed=seed)
     raise ValidationError(
-        f"method must be 'auto', 'dense', 'lanczos', or 'arpack'; got {method!r}"
+        f"method must be 'auto', 'dense', 'lanczos', 'arpack', or 'sketch'; "
+        f"got {method!r}"
     )
 
 
@@ -100,13 +159,21 @@ def trevisan_sweep_cut(
     """Sweep-cut refinement: try every threshold along the sorted eigenvector.
 
     For eigenvector ``u`` sorted ascending, threshold ``t`` places vertices
-    with ``u_i <= t`` on one side.  All ``n`` candidate thresholds are
-    evaluated in one batched cut-weight computation.
+    with ``u_i <= t`` on one side.  Below :data:`_BATCH_SWEEP_MAX_VERTICES`
+    all candidates are evaluated in one batched cut-weight computation;
+    above, the equivalent ``O(m + n log n)`` scatter-add sweep of
+    :func:`repro.scale.sketch.sweep_cut_from_scores` is used, so the whole
+    pipeline stays free of ``(n, n)`` allocations on large graphs.
     """
     eigenvalue, eigenvector = minimum_eigenvector(graph, method=method, seed=seed)
     n = graph.n_vertices
     if n == 0:
         cut = Cut(assignment=np.zeros(0, dtype=np.int8), weight=0.0, graph_name=graph.name)
+        return TrevisanResult(cut=cut, eigenvalue=eigenvalue, eigenvector=eigenvector, method=method)
+    if n > _BATCH_SWEEP_MAX_VERTICES:
+        from repro.scale.sketch import sweep_cut_from_scores
+
+        cut = sweep_cut_from_scores(graph, eigenvector)
         return TrevisanResult(cut=cut, eigenvalue=eigenvalue, eigenvector=eigenvector, method=method)
     order = np.argsort(eigenvector)
     # Candidate k: the k smallest-entry vertices get -1, the rest +1 (k = 1..n-1),

@@ -46,6 +46,7 @@ from repro.workloads.executor import execute_spec
 from repro.workloads import paper as _paper  # registers the five paper workloads
 from repro.workloads import bench as _bench  # registers the bench workload
 from repro.workloads import problems as _problems  # registers the problems workload
+from repro.workloads import evolving as _evolving  # registers the evolving workload
 from repro import portfolio as _portfolio  # registers the portfolio meta-solver
 from repro.workloads.bench import BenchRecord, check_baseline
 from repro.workloads.paper import arena_result_from_report

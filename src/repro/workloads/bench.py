@@ -37,6 +37,21 @@ baseline (``benchmarks/baseline.json``):
     every-candidate budget, and its floor gates how much cut quality the
     halving may give up.  Wall times of both paths are recorded so the
     budget saving stays visible in the artifact.
+``scale-generate``
+    The CSR-native vectorised Barabási–Albert generator
+    (:func:`repro.scale.generators.scale_barabasi_albert`) vs the legacy
+    per-vertex Python loop (:func:`repro.graphs.generators.barabasi_albert`)
+    at the same ``(n, m)``.  ``speedup`` is legacy/vectorised wall time
+    (expected well above 1 and growing with ``n``); the agreement check
+    verifies the edge counts match within tolerance and that the vectorised
+    path never touched a dense adjacency.
+``sketch-vs-exact``
+    Sketched Trevisan rounding (``method="sketch"``,
+    :mod:`repro.scale.sketch`) vs the exact sparse eigensolver
+    (``method="arpack"``) on a scale-free graph.  ``speedup`` here is the
+    *cut-quality ratio* sketch ÷ exact — deterministic (seeded sketch,
+    ARPACK's fixed internal start), so its floor pins how much cut weight
+    the randomized subspace may give up; both wall times are recorded.
 
 Each scenario is one shard unit, so the bench workload itself shards and
 resumes like everything else.  Results are :class:`BenchRecord` rows — a
@@ -126,6 +141,8 @@ def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
     scenarios.append(("problems-compile",))
     scenarios.append(("serve-batching",))
     scenarios.append(("portfolio-route",))
+    scenarios.append(("scale-generate",))
+    scenarios.append(("sketch-vs-exact",))
     return scenarios
 
 
@@ -447,6 +464,96 @@ def _run_portfolio_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
+def _run_scale_generate_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.graphs.generators import barabasi_albert
+    from repro.scale.generators import scale_barabasi_albert
+
+    # Same (n, m, seed) through both constructions.  The legacy generator's
+    # sequential sampling and the vectorised pointer-chasing draw different
+    # (equally valid) preferential-attachment realisations, so agreement is
+    # checked on the edge count (the vectorised simple-graph projection may
+    # drop a few duplicate picks) rather than exact edge identity.
+    n = int(dict(spec.params).get("scale_n", 3000))
+    m = 3
+    seed = spec.seed
+
+    started = time.perf_counter()
+    legacy = barabasi_albert(n, m, seed=seed)
+    legacy_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    vectorised = scale_barabasi_albert(n, m, seed=seed)
+    vectorised_elapsed = time.perf_counter() - started
+
+    expected_edges = m + max(0, n - m - 1) * m
+    counts_close = (
+        abs(vectorised.n_edges - expected_edges) <= 0.05 * expected_edges
+        and abs(legacy.n_edges - expected_edges) <= 0.05 * expected_edges
+    )
+    return {
+        "scenario": "scale-generate",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(vectorised_elapsed),
+        "baseline_seconds": float(legacy_elapsed),
+        "speedup": float(legacy_elapsed / vectorised_elapsed)
+                   if vectorised_elapsed > 0 else float("inf"),
+        "detail": {
+            "n_vertices": n,
+            "m": m,
+            "legacy_edges": int(legacy.n_edges),
+            "vectorised_edges": int(vectorised.n_edges),
+            "expected_edges": int(expected_edges),
+            "results_match": bool(
+                counts_close and vectorised._adjacency is None
+            ),
+        },
+    }
+
+
+def _run_sketch_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.scale.generators import scale_barabasi_albert
+    from repro.spectral.trevisan import trevisan_sweep_cut
+
+    # Quality ratio of the sketched Trevisan pipeline against the exact
+    # sparse eigensolver on the same graph.  Both sides are deterministic
+    # (seeded sketch; ARPACK uses its fixed internal start), so the gated
+    # speedup is reproducible — wall times ride along in the detail.
+    n = int(dict(spec.params).get("sketch_n", 1024))
+    graph = scale_barabasi_albert(n, 4, seed=spec.seed)
+
+    started = time.perf_counter()
+    exact = trevisan_sweep_cut(graph, method="arpack")
+    exact_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sketched = trevisan_sweep_cut(graph, method="sketch", seed=spec.seed)
+    sketched_elapsed = time.perf_counter() - started
+
+    quality = (
+        sketched.cut.weight / exact.cut.weight
+        if exact.cut.weight > 0 else 1.0
+    )
+    return {
+        "scenario": "sketch-vs-exact",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(sketched_elapsed),
+        "baseline_seconds": float(exact_elapsed),
+        "speedup": float(quality),
+        "detail": {
+            "graph": graph.name,
+            "n_vertices": int(graph.n_vertices),
+            "n_edges": int(graph.n_edges),
+            "exact_weight": float(exact.cut.weight),
+            "sketch_weight": float(sketched.cut.weight),
+            "exact_eigenvalue": float(exact.eigenvalue),
+            "sketch_eigenvalue": float(sketched.eigenvalue),
+            "exact_wall_seconds": float(exact_elapsed),
+            "sketch_wall_seconds": float(sketched_elapsed),
+            "results_match": bool(graph._adjacency is None),
+        },
+    }
+
+
 def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
     """Run one bench scenario and return its JSON-safe measurement payload."""
     if scenario.startswith("engine:"):
@@ -459,6 +566,10 @@ def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
         return _run_serve_scenario(spec)
     if scenario == "portfolio-route":
         return _run_portfolio_scenario(spec)
+    if scenario == "scale-generate":
+        return _run_scale_generate_scenario(spec)
+    if scenario == "sketch-vs-exact":
+        return _run_sketch_scenario(spec)
     raise ValidationError(f"unknown bench scenario {scenario!r}")
 
 
@@ -557,6 +668,7 @@ register_workload(Workload(
     defaults={
         "suite": "er-small", "trials": 16, "samples": 128,
         "solvers": ("lif_tr", "random"), "backend": "auto", "arena_shards": 2,
+        "scale_n": 3000, "sketch_n": 1024,
     },
     build_spec=_bench_spec,
     execute=_bench_execute,

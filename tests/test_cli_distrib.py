@@ -174,6 +174,7 @@ class TestBenchCommand:
         assert scenarios == {
             "engine:lif_gw", "engine:lif_tr", "sharded:arena",
             "problems-compile", "serve-batching", "portfolio-route",
+            "scale-generate", "sketch-vs-exact",
         }
 
     def test_check_passes_against_committed_baseline(self, bench_run, capsys):

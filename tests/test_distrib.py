@@ -42,6 +42,8 @@ _TIMING_KEYS = {
     "engine_elapsed_seconds",
     "shard_elapsed_seconds",
     "samples_per_second",
+    "warm_seconds",
+    "cold_seconds",
     "n_unit_blocks",
     "distrib",
 }
@@ -63,6 +65,9 @@ WORKLOAD_PARAMS = {
     "problems": dict(
         problem="2sat", solvers=("random", "annealing", "max2sat_gw"),
         trials=2, samples=8, seed=0,
+    ),
+    "evolving": dict(
+        suite="er-small", steps=2, deltas=4, trials=2, samples=16, seed=0,
     ),
 }
 

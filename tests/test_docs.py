@@ -49,6 +49,7 @@ PUBLIC_PACKAGES = [
     "repro.plotting",
     "repro.portfolio",
     "repro.problems",
+    "repro.scale",
     "repro.sdp",
     "repro.serve",
     "repro.spectral",

@@ -67,6 +67,7 @@ def _toy_instances():
     from repro.graphs.generators import erdos_renyi
     from repro.portfolio import PortfolioModel
     from repro.workloads import BenchRecord, RunReport
+    from repro.workloads.evolving import EvolvingRecord
 
     graph = erdos_renyi(10, 0.5, seed=0, name="toy10")
     solve_result = run_circuit_trials(
@@ -109,6 +110,13 @@ def _toy_instances():
         BenchRecord(
             scenario="engine:lif_tr", suite="er-small", wall_seconds=0.5,
             baseline_seconds=1.0, speedup=2.0, detail={"results_match": True},
+        ),
+        EvolvingRecord(
+            graph_name="toy10", trial=0, step=1, n_vertices=10, n_edges=20,
+            fingerprint="abc123", method="auto", warm_weight=12.0,
+            warm_seconds=0.01, cold_weight=12.5, cold_seconds=0.05,
+            quality_ratio=0.96, compared=True,
+            detail={"parent_fingerprint": "def456"},
         ),
         PortfolioModel(
             buckets={"maxcut/small/mid": [

@@ -1,0 +1,76 @@
+"""Slow acceptance test: the 100k-vertex pipeline, end to end, never dense.
+
+Generates a 100k-vertex Barabási–Albert graph, solves it through the
+sketched Trevisan path, and runs an evolving-graph timeline on it — all
+with every dense ``(n, n)`` materialisation on :class:`Graph` patched to
+raise.  Nightly CI runs this under ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def dense_guard(monkeypatch):
+    def _boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"dense matrix materialised for n={self.n_vertices}"
+        )
+
+    for method in ("adjacency", "normalized_adjacency", "trevisan_matrix",
+                   "laplacian"):
+        monkeypatch.setattr(Graph, method, _boom)
+
+
+class TestHundredKVertexPipeline:
+    def test_generate_sketch_solve_and_evolve(self, dense_guard):
+        from repro.scale.generators import scale_barabasi_albert
+        from repro.scale.stream import EdgeStream, GraphVersion, warm_resolve
+        from repro.spectral.trevisan import (
+            SKETCH_AUTO_MIN_VERTICES,
+            minimum_eigenvector,
+            trevisan_sweep_cut,
+        )
+
+        n = 100_000
+        assert n > SKETCH_AUTO_MIN_VERTICES  # auto must route to the sketch
+        graph = scale_barabasi_albert(n, 3, seed=0)
+        assert graph.n_vertices == n
+        assert graph.n_edges > 0.95 * 3 * n
+
+        # Explicit sketch and the auto route agree (auto dispatches to sketch
+        # at this size, same seed, same test matrix).
+        value_sketch, vector = minimum_eigenvector(graph, method="sketch", seed=1)
+        value_auto, _ = minimum_eigenvector(graph, method="auto", seed=1)
+        assert value_auto == value_sketch
+        assert vector.shape == (n,)
+        assert value_sketch < 0  # a BA graph's normalized spectrum dips below 0
+
+        result = trevisan_sweep_cut(graph, method="sketch", seed=1)
+        assert result.cut.assignment.shape == (n,)
+        # A spectral cut must beat the random-split expectation (half the
+        # total weight) by a clear margin on a sparse scale-free graph.
+        assert result.cut.weight > 0.55 * float(graph.edge_weights.sum())
+
+        # Evolving timeline on the same instance: delta, warm re-solve.
+        stream = EdgeStream.random(graph, 2, 16, seed=2)
+        version = GraphVersion.initial(graph)
+        previous = result.cut
+        for batch in stream:
+            version = version.apply(batch)
+            previous = warm_resolve(version.graph, previous=previous,
+                                    max_flips=64)
+        assert version.version == 2
+        assert previous.weight >= 0.99 * result.cut.weight
+
+    def test_scale_large_suite_builds_under_guard(self, dense_guard):
+        from repro.arena.suite import build_suite
+
+        graphs = build_suite("scale-large", seed=0)
+        assert [g.n_vertices for g in graphs] == [100_000, 50_000, 65_536]
+        assert all(g._adjacency is None for g in graphs)

@@ -1,0 +1,173 @@
+"""Tests for evolving-graph streams, versions, and warm re-solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuts.cut import cut_weight
+from repro.graphs.graph import Graph
+from repro.scale.generators import scale_watts_strogatz
+from repro.scale.stream import (
+    EdgeDelta,
+    EdgeStream,
+    GraphVersion,
+    apply_deltas,
+    sparse_greedy_improve,
+    warm_resolve,
+    warm_start_assignment,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def small_graph():
+    return Graph(5, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 1.0)], name="path5")
+
+
+class TestEdgeDelta:
+    def test_validates_op_loop_and_weight(self):
+        with pytest.raises(ValidationError):
+            EdgeDelta("swap", 0, 1)
+        with pytest.raises(ValidationError):
+            EdgeDelta("add", 2, 2)
+        with pytest.raises(ValidationError):
+            EdgeDelta("add", 0, 1, weight=float("nan"))
+
+    def test_roundtrips_through_dict(self):
+        delta = EdgeDelta("reweight", 3, 1, weight=2.5)
+        assert EdgeDelta.from_dict(delta.to_dict()) == delta
+        assert delta.endpoints() == (1, 3)
+
+
+class TestApplyDeltas:
+    def test_add_remove_reweight_semantics(self, small_graph):
+        out = apply_deltas(small_graph, [
+            EdgeDelta("add", 0, 4, weight=3.0),
+            EdgeDelta("remove", 1, 2),
+            EdgeDelta("reweight", 2, 3, weight=5.0),
+        ])
+        assert out.n_edges == 4
+        lookup = {tuple(e): w for e, w in zip(out.edges.tolist(),
+                                              out.edge_weights.tolist())}
+        assert lookup[(0, 4)] == 3.0
+        assert lookup[(2, 3)] == 5.0
+        assert (1, 2) not in lookup
+
+    def test_strict_errors(self, small_graph):
+        with pytest.raises(ValidationError, match="already exists"):
+            apply_deltas(small_graph, [EdgeDelta("add", 0, 1)])
+        with pytest.raises(ValidationError, match="does not exist"):
+            apply_deltas(small_graph, [EdgeDelta("remove", 0, 4)])
+        with pytest.raises(ValidationError, match="does not exist"):
+            apply_deltas(small_graph, [EdgeDelta("reweight", 0, 4)])
+        with pytest.raises(ValidationError, match="out of range"):
+            apply_deltas(small_graph, [EdgeDelta("add", 0, 99)])
+
+    def test_sequential_within_batch(self, small_graph):
+        # add then remove of the same edge cancels; remove then re-add swaps
+        # the weight without summing.
+        out = apply_deltas(small_graph, [
+            EdgeDelta("add", 0, 4),
+            EdgeDelta("remove", 0, 4),
+            EdgeDelta("remove", 0, 1),
+            EdgeDelta("add", 0, 1, weight=9.0),
+        ])
+        lookup = {tuple(e): w for e, w in zip(out.edges.tolist(),
+                                              out.edge_weights.tolist())}
+        assert (0, 4) not in lookup
+        assert lookup[(0, 1)] == 9.0
+
+    def test_replay_fingerprint_equals_scratch_build(self):
+        base = scale_watts_strogatz(150, 4, 0.1, seed=2)
+        stream = EdgeStream.random(base, n_steps=5, deltas_per_step=12, seed=3)
+        version = GraphVersion.initial(base)
+        for batch in stream:
+            version = version.apply(batch)
+        final = version.graph
+        scratch = Graph(
+            final.n_vertices,
+            [
+                (int(u), int(v), float(w))
+                for (u, v), w in zip(final.edges, final.edge_weights)
+            ],
+            name=final.name,
+        )
+        assert final.fingerprint() == scratch.fingerprint()
+
+
+class TestEdgeStream:
+    def test_deterministic_and_replayable(self):
+        base = scale_watts_strogatz(80, 4, 0.1, seed=1)
+        s1 = EdgeStream.random(base, 3, 6, seed=5)
+        s2 = EdgeStream.random(base, 3, 6, seed=5)
+        assert len(s1) == 3
+        for b1, b2 in zip(s1, s2):
+            assert b1 == b2
+
+    def test_every_batch_applies_cleanly(self):
+        base = scale_watts_strogatz(60, 4, 0.3, seed=0)
+        stream = EdgeStream.random(base, 6, 15, seed=1)
+        graph = base
+        for batch in stream:
+            graph = apply_deltas(graph, batch)  # strict: raises on bad delta
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EdgeStream([["not-a-delta"]])
+        with pytest.raises(ValidationError):
+            EdgeStream.random(Graph(1), 1, 1)
+
+
+class TestGraphVersion:
+    def test_chain_links_parent_fingerprints(self, small_graph):
+        v0 = GraphVersion.initial(small_graph)
+        v1 = v0.apply([EdgeDelta("add", 0, 4)])
+        v2 = v1.apply([EdgeDelta("remove", 0, 4)])
+        assert v0.version == 0 and v0.parent_fingerprint is None
+        assert v1.version == 1 and v1.parent_fingerprint == v0.fingerprint()
+        assert v2.version == 2 and v2.parent_fingerprint == v1.fingerprint()
+        # add + remove of the same edge returns to the original content.
+        assert v2.fingerprint() != v1.fingerprint()
+        assert v2.graph.n_edges == small_graph.n_edges
+
+    def test_default_names_track_versions(self, small_graph):
+        v1 = GraphVersion.initial(small_graph).apply([EdgeDelta("add", 0, 2)])
+        assert v1.graph.name == "path5@v1"
+
+
+class TestWarmResolve:
+    def test_sparse_greedy_improves_monotonically(self):
+        graph = scale_watts_strogatz(200, 6, 0.2, seed=4)
+        start = np.ones(graph.n_vertices, dtype=np.int8)
+        improved = sparse_greedy_improve(graph, start)
+        assert improved.weight >= cut_weight(graph, start)
+        assert improved.weight == pytest.approx(
+            cut_weight(graph, improved.assignment)
+        )
+        assert graph._adjacency is None  # stayed sparse throughout
+
+    def test_max_flips_caps_work(self):
+        graph = scale_watts_strogatz(100, 4, 0.2, seed=4)
+        start = np.ones(graph.n_vertices, dtype=np.int8)
+        capped = sparse_greedy_improve(graph, start, max_flips=1)
+        full = sparse_greedy_improve(graph, start)
+        assert capped.weight <= full.weight
+
+    def test_warm_start_assignment_pads_and_truncates(self):
+        src = np.array([-1, 1, -1], dtype=np.int8)
+        assert warm_start_assignment(src, 5).tolist() == [-1, 1, -1, 1, 1]
+        assert warm_start_assignment(src, 2).tolist() == [-1, 1]
+
+    def test_warm_resolve_tracks_cold_quality(self):
+        base = scale_watts_strogatz(150, 4, 0.1, seed=6)
+        cold = warm_resolve(base, seed=0)
+        stream = EdgeStream.random(base, 1, 10, seed=7)
+        version = GraphVersion.initial(base).apply(stream.step(0))
+        warm = warm_resolve(version.graph, previous=cold)
+        reference = warm_resolve(version.graph, seed=0)
+        assert warm.weight >= 0.9 * reference.weight
+
+    def test_empty_graph(self):
+        cut = warm_resolve(Graph(0))
+        assert cut.weight == 0.0 and cut.assignment.shape == (0,)

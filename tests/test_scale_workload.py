@@ -1,0 +1,198 @@
+"""Tests for the evolving workload, scale suites, and the no-densify guard."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arena.suite import build_suite, list_suites
+from repro.graphs.graph import Graph
+from repro.utils.validation import ValidationError
+from repro.workloads import list_workloads, run_workload
+
+
+@pytest.fixture
+def dense_guard(monkeypatch):
+    """Make every dense (n, n) materialisation on Graph raise."""
+
+    def _boom(self, *args, **kwargs):
+        raise AssertionError(
+            f"dense matrix materialised for n={self.n_vertices}"
+        )
+
+    for method in ("adjacency", "normalized_adjacency", "trevisan_matrix",
+                   "laplacian"):
+        monkeypatch.setattr(Graph, method, _boom)
+    return _boom
+
+
+class TestScaleSuites:
+    def test_suites_registered(self):
+        assert "scale-small" in list_suites()
+        assert "scale-large" in list_suites()
+
+    def test_scale_small_builds_deterministically(self):
+        a = build_suite("scale-small", seed=3)
+        b = build_suite("scale-small", seed=3)
+        assert [g.fingerprint() for g in a] == [g.fingerprint() for g in b]
+        assert len({g.name for g in a}) == len(a)
+        assert all(g._adjacency is None for g in a)
+
+
+class TestEvolvingWorkload:
+    def test_registered(self):
+        assert "evolving" in list_workloads()
+
+    def test_runs_on_er_small(self):
+        report = run_workload(
+            "evolving", suite="er-small", trials=1, samples=64, seed=0
+        )
+        # 3 graphs x (1 initial + 3 steps) records.
+        assert len(report.records) == 12
+        steps = [r.step for r in report.records]
+        assert steps.count(0) == 3
+        for record in report.records:
+            assert record.warm_weight > 0
+            if record.step == 0:
+                assert record.warm_weight == record.cold_weight
+                assert not record.compared
+            else:
+                assert record.compared
+                assert record.quality_ratio == pytest.approx(
+                    record.warm_weight / record.cold_weight
+                )
+        assert {row["metric"] for row in report.leaderboard} == {
+            "warm/cold cut ratio"
+        }
+
+    def test_deterministic_in_seed(self):
+        a = run_workload("evolving", suite="er-small", trials=1, samples=32,
+                         seed=5)
+        b = run_workload("evolving", suite="er-small", trials=1, samples=32,
+                         seed=5)
+        assert [r.fingerprint for r in a.records] == [
+            r.fingerprint for r in b.records
+        ]
+        assert [r.warm_weight for r in a.records] == [
+            r.warm_weight for r in b.records
+        ]
+
+    def test_fingerprints_chain_across_steps(self):
+        report = run_workload("evolving", suite="er-small", trials=1,
+                              samples=16, seed=1)
+        by_graph = {}
+        for record in report.records:
+            by_graph.setdefault(record.graph_name, []).append(record)
+        for rows in by_graph.values():
+            rows.sort(key=lambda r: r.step)
+            for previous, current in zip(rows, rows[1:]):
+                assert current.detail["parent_fingerprint"] == previous.fingerprint
+
+    def test_compare_cold_off_skips_reference(self):
+        report = run_workload("evolving", suite="er-small", trials=1,
+                              samples=16, seed=0, compare_cold=False)
+        assert all(not r.compared for r in report.records)
+        assert all(r.quality_ratio == 1.0 for r in report.records)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValidationError):
+            run_workload("evolving", suite="er-small", steps=-1, seed=0)
+
+
+class TestEvolvingSharded:
+    def test_sharded_cli_matches_monolithic(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_mono = tmp_path / "mono.json"
+        out_merged = tmp_path / "merged.json"
+        ckpt = tmp_path / "ckpt"
+        base = [
+            "run", "evolving", "--param", "suite=er-small",
+            "--param", "trials=1", "--param", "samples=32", "--seed", "3",
+        ]
+        assert main(base + ["--save", str(out_mono)]) == 0
+        assert main(base + ["--shards", "2", "--checkpoint-dir", str(ckpt)]) == 0
+        assert main(["merge", str(ckpt), "--save", str(out_merged)]) == 0
+        capsys.readouterr()
+        mono = json.loads(out_mono.read_text())
+        merged = json.loads(out_merged.read_text())
+
+        def strip_timing(rows):
+            return [
+                {k: v for k, v in row.items()
+                 if not k.endswith("_seconds")}
+                for row in rows
+            ]
+
+        assert strip_timing(mono["results"]) == strip_timing(merged["results"])
+        assert mono["config"]["leaderboard"] == merged["config"]["leaderboard"]
+
+
+class TestNoDensifyGuard:
+    def test_auto_path_never_densifies_mid_size_graph(self, dense_guard):
+        from repro.scale.generators import scale_barabasi_albert
+        from repro.scale.stream import EdgeStream, GraphVersion, warm_resolve
+        from repro.spectral.trevisan import minimum_eigenvector
+
+        graph = scale_barabasi_albert(5000, 3, seed=0)
+        value, vector = minimum_eigenvector(graph, method="auto")
+        assert vector.shape == (5000,)
+        # Full evolving pipeline under the guard: cold solve, delta batch,
+        # warm re-solve.
+        cold = warm_resolve(graph, method="auto", seed=0, max_flips=32)
+        stream = EdgeStream.random(graph, 1, 8, seed=1)
+        version = GraphVersion.initial(graph).apply(stream.step(0))
+        warm = warm_resolve(version.graph, previous=cold, max_flips=32)
+        assert warm.weight > 0
+
+    def test_explicit_dense_raises_above_cap(self):
+        from repro.scale.generators import scale_barabasi_albert
+        from repro.spectral.trevisan import minimum_eigenvector
+
+        graph = scale_barabasi_albert(5000, 2, seed=0)
+        with pytest.raises(ValidationError, match="dense"):
+            minimum_eigenvector(graph, method="dense")
+
+    def test_arpack_zero_edge_fallback_stays_sparse(self, dense_guard):
+        from repro.spectral.trevisan import minimum_eigenvector
+
+        value, vector = minimum_eigenvector(Graph(500), method="arpack")
+        assert value == 0.0
+        assert vector[0] == 1.0 and vector.sum() == 1.0
+
+
+class TestServeAdmission:
+    def test_service_rejects_oversized_scale_graph(self):
+        from repro.graphs.io import graph_to_dict
+        from repro.scale.generators import scale_barabasi_albert
+        from repro.serve import AdmissionError, SolverService
+
+        graph = scale_barabasi_albert(5000, 2, seed=0)
+        service = SolverService(autostart=False)
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit({
+                "graph": graph_to_dict(graph), "circuit": "lif_tr",
+                "trials": 1, "samples": 8, "seed": 0,
+            })
+        assert excinfo.value.reason == "too_large"
+        service.shutdown()
+
+
+class TestPortfolioSizeBands:
+    def test_new_bands_distinguish_scale_instances(self):
+        from repro.portfolio.features import bucket_key
+
+        # Two instances that previously collapsed into "large" now land in
+        # distinct upper bands.
+        assert bucket_key("maxcut", 5_000, 0.01) != bucket_key(
+            "maxcut", 50_000, 0.01
+        )
+        assert bucket_key("maxcut", 50_000, 0.01) != bucket_key(
+            "maxcut", 500_000, 0.01
+        )
+        assert bucket_key("maxcut", 5_000_000, 0.01).split("/")[1] == "huge"
+        # The pinned pre-existing behaviour is preserved.
+        assert bucket_key("qubo", 1024, 0.9) == "qubo/large/dense"
+        assert bucket_key("maxcut", 64, 0.05) == "maxcut/small/sparse"

@@ -164,8 +164,8 @@ class TestValidatedConfigMixin:
 class TestRegistry:
     def test_paper_workloads_registered(self):
         assert list_workloads() == [
-            "ablation", "arena", "bench", "figure3", "figure4", "problems",
-            "table1",
+            "ablation", "arena", "bench", "evolving", "figure3", "figure4",
+            "problems", "table1",
         ]
 
     def test_unknown_workload_has_suggestion(self):
