@@ -112,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shorthand for --param samples=N")
     run.add_argument("--workers", type=int, default=None,
                      help="shorthand for --param workers=N")
+    run.add_argument("--backend", type=str, default=None, metavar="SPEC",
+                     help="shorthand for --param backend=SPEC (engine backend "
+                          "spec: auto, dense, sparse, numpy, torch, cupy, or "
+                          "<array>:<weight> like torch:dense)")
     run.add_argument("--plan", action="store_true",
                      help="print the execution plan and exit without running")
     run.add_argument("--plot", action="store_true",
@@ -140,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     # workloads --------------------------------------------------------------
     subparsers.add_parser("workloads", help="list the registered workloads")
+
+    # backends ---------------------------------------------------------------
+    subparsers.add_parser(
+        "backends",
+        help="list the engine's array and weight backends with availability",
+        description=(
+            "Probe the two backend registries of the batched engine: array "
+            "backends (the tensor namespace a batch runs on — numpy always, "
+            "torch/cupy when installed) and weight backends (how the weight "
+            "matrix is applied — dense GEMM or sparse CSR). Any listed pair "
+            "combines as --backend <array>:<weight>."
+        ),
+    )
 
     # merge ------------------------------------------------------------------
     merge = subparsers.add_parser(
@@ -220,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="portfolio model for --solver auto (from "
                             "`repro portfolio fit`); without one, auto "
                             "races its candidate pool cold")
+    solve.add_argument("--backend", type=str, default="auto", metavar="SPEC",
+                       help="engine backend spec for batchable solvers: auto, "
+                            "a weight backend (dense/sparse), an array "
+                            "backend (numpy/torch/cupy), or <array>:<weight> "
+                            "(see `repro backends`)")
 
     # engine -----------------------------------------------------------------
     engine = subparsers.add_parser(
@@ -242,8 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of independent trials in the batch")
     engine.add_argument("--samples", type=int, default=256,
                         help="cut read-outs per trial")
-    engine.add_argument("--backend", type=str, default="auto",
-                        help="weight backend: auto, dense, or sparse")
+    engine.add_argument("--backend", type=str, default="auto", metavar="SPEC",
+                        help="backend spec: auto, a weight backend "
+                             "(dense/sparse), an array backend "
+                             "(numpy/torch/cupy), or <array>:<weight> "
+                             "(see `repro backends`)")
     engine.add_argument("--early-stop-patience", type=int, default=0, metavar="ROUNDS",
                         help="stop after this many non-improving read-out rounds "
                              "(0 disables early stopping)")
@@ -330,8 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-seconds", type=float, default=None, metavar="S",
                          help="optional wall-clock cap per (solver, graph) cell "
                               "(capped cells run trials serially, overriding --workers)")
-    compare.add_argument("--backend", type=str, default="auto",
-                         help="engine weight backend for batchable solvers")
+    compare.add_argument("--backend", type=str, default="auto", metavar="SPEC",
+                         help="engine backend spec for batchable solvers "
+                              "(auto, dense, sparse, numpy, torch, cupy, or "
+                              "<array>:<weight>)")
     compare.add_argument("--workers", type=int, default=1,
                          help="process workers for sequential solvers' trials")
     compare.add_argument("--no-engine", action="store_true",
@@ -475,7 +502,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 )
             key, text = item.split("=", 1)
             raw[key.strip()] = text
-        for key in ("trials", "samples", "workers"):
+        for key in ("trials", "samples", "workers", "backend"):
             value = getattr(args, key)
             if value is not None:
                 raw[key] = value
@@ -629,6 +656,32 @@ def _command_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_backends(_args: argparse.Namespace) -> int:
+    from repro.engine import probe_array_backends, probe_weight_backends
+    from repro.experiments.reporting import format_table
+
+    def rows(probes):
+        return [
+            [
+                probe["name"],
+                "yes" if probe["available"] else "no",
+                probe["device"] if probe["available"] else "-",
+                probe["reason"],
+            ]
+            for probe in probes
+        ]
+
+    print("array backends (tensor namespace the engine batch runs on):")
+    print(format_table(["name", "available", "device", "notes"],
+                       rows(probe_array_backends())))
+    print("\nweight backends (how the weight matrix is applied):")
+    print(format_table(["name", "available", "device", "notes"],
+                       rows(probe_weight_backends())))
+    print("\nselect with: repro engine|solve|run ... --backend "
+          "<name> or <array>:<weight>   (e.g. --backend torch:dense)")
+    return 0
+
+
 def _deprecated(old: str, new: str) -> None:
     # stacklevel=2 attributes the warning to the shim command itself (the
     # _command_<old> frame) rather than the generic dispatch line, so the
@@ -649,13 +702,42 @@ def _command_solve(args: argparse.Namespace) -> int:
     if args.problem is not None:
         return _solve_problem(args)
     graph = _load_graph(args)
-    solver = get_solver(args.solver)
-    extra: Dict[str, Any] = {}
-    if get_spec(args.solver).key == "portfolio" and args.model is not None:
-        extra["model"] = args.model
-    cut = solver(graph, n_samples=args.samples, seed=args.seed, **extra)
+    spec = get_spec(args.solver)
+    engine_note = ""
+    if args.backend != "auto":
+        # An explicit backend routes batchable solvers through the engine
+        # (the sequential circuit path has no backend seam).  Non-batchable
+        # solvers cannot honour the request — say so instead of ignoring it.
+        if not spec.batchable:
+            print(
+                f"error: --backend applies to batchable solvers "
+                f"(lif_gw, lif_tr); {args.solver!r} runs sequentially",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            from repro.engine import resolve_backend
+            from repro.experiments.runner import run_circuit_trials
+
+            resolve_backend(args.backend)  # fail fast, before the SDP solve
+            result = run_circuit_trials(
+                graph=graph, circuit=spec.circuit, n_trials=1,
+                n_samples=args.samples, seed=args.seed, backend=args.backend,
+            )
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cut = result.best_cut
+        engine_note = (f" (batched engine, backend {result.backend_name}"
+                       f" on {result.metadata.get('array_backend', 'numpy')})")
+    else:
+        solver = get_solver(args.solver)
+        extra: Dict[str, Any] = {}
+        if spec.key == "portfolio" and args.model is not None:
+            extra["model"] = args.model
+        cut = solver(graph, n_samples=args.samples, seed=args.seed, **extra)
     print(f"graph      : {graph.name} ({graph.n_vertices} vertices, {graph.n_edges} edges)")
-    print(f"solver     : {args.solver}")
+    print(f"solver     : {args.solver}{engine_note}")
     print(f"cut weight : {cut.weight:g}  (of total edge weight {graph.total_weight:g})")
     sides = cut.side_sizes
     print(f"partition  : {sides[0]} / {sides[1]} vertices")
@@ -698,6 +780,7 @@ def _solve_problem(args: argparse.Namespace) -> int:
             result = run_circuit_trials(
                 graph=graph, circuit=spec.circuit, n_trials=args.trials,
                 n_samples=args.samples, seed=args.seed,
+                backend=args.backend,
             )
             cut = result.best_cut
             print(f"solver     : {spec.key} (batched engine, "
@@ -743,18 +826,15 @@ def _solve_problem(args: argparse.Namespace) -> int:
 def _command_engine(args: argparse.Namespace) -> int:
     from repro.circuits.lif_gw import LIFGWCircuit
     from repro.circuits.lif_trevisan import LIFTrevisanCircuit
-    from repro.engine import EarlyStopConfig, list_backends
+    from repro.engine import EarlyStopConfig, resolve_backend
     from repro.experiments.runner import run_circuit_trials
 
-    # Fail fast on a bad backend name, before the (possibly expensive)
-    # graph load and offline SDP solve.
-    known_backends = list_backends()
-    if args.backend != "auto" and args.backend not in known_backends:
-        print(
-            f"error: unknown backend {args.backend!r}; "
-            f"choose from: auto, {', '.join(known_backends)}",
-            file=sys.stderr,
-        )
+    # Fail fast on a bad or unavailable backend spec, before the (possibly
+    # expensive) graph load and offline SDP solve.
+    try:
+        resolve_backend(args.backend)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
     graph = _load_graph(args)
@@ -974,6 +1054,7 @@ def _command_portfolio(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _command_run,
     "workloads": _command_workloads,
+    "backends": _command_backends,
     "merge": _command_merge,
     "bench": _command_bench,
     "solve": _command_solve,

@@ -110,30 +110,58 @@ class BatchCutEvaluator:
     (callers guarantee ±1 rows of the right width), while computing the same
     ``crossing @ edge_weights`` product, so its results are bitwise equal to
     :func:`cut_weights_batch`.
+
+    Evaluation runs in an array namespace
+    (:class:`repro.engine.xp.ArrayBackend`, default numpy): edge arrays are
+    transferred once at construction and the result stays in the namespace —
+    on numpy that means every call lowers to the exact host expressions
+    above, so outputs are unchanged bitwise.  The weighted product uses an
+    explicit ``bool -> float64`` cast before the matmul (accelerators cannot
+    multiply booleans); NumPy's implicit promotion computes the identical
+    product, so the cast keeps one code path without perturbing host
+    results.
     """
 
-    __slots__ = ("_heads", "_tails", "_weights", "_unit_weights")
+    __slots__ = ("_array", "_heads", "_tails", "_weights", "_n_edges", "_unit_weights")
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, array_backend=None) -> None:
+        if array_backend is None:
+            # Function-level import: repro.engine imports this module, so the
+            # default-backend lookup must not re-enter the engine package
+            # mid-initialisation.
+            from repro.engine.xp import get_array_backend
+
+            array_backend = get_array_backend("numpy")
+        self._array = array_backend
         edges = graph.edges
-        self._heads = np.ascontiguousarray(edges[:, 0])
-        self._tails = np.ascontiguousarray(edges[:, 1])
-        self._weights = graph.edge_weights
+        host_weights = graph.edge_weights
+        self._n_edges = int(host_weights.size)
+        # int64 gather indices: numpy is indifferent, torch requires long.
+        self._heads = array_backend.asarray(np.ascontiguousarray(edges[:, 0]), dtype="int64")
+        self._tails = array_backend.asarray(np.ascontiguousarray(edges[:, 1]), dtype="int64")
+        self._weights = array_backend.asarray(host_weights)
         # For unit weights, `crossing @ 1-vector` is an exact integer sum, so
         # counting crossing edges gives the bitwise-identical result without
         # the bool->float promotion of the matmul.
-        self._unit_weights = bool(self._weights.size) and bool(
-            np.all(self._weights == 1.0)
+        self._unit_weights = bool(self._n_edges) and bool(
+            np.all(host_weights == 1.0)
         )
 
-    def weights(self, assignments: np.ndarray) -> np.ndarray:
-        """Cut weights of a ``(k, n)`` block of ±1 assignments (unvalidated)."""
-        if self._weights.size == 0:
-            return np.zeros(assignments.shape[0], dtype=np.float64)
+    def weights(self, assignments):
+        """Cut weights of a ``(k, n)`` block of ±1 assignments (unvalidated).
+
+        *assignments* may be host numpy or already in the evaluator's array
+        namespace; the result is a length-``k`` float64 vector in the
+        namespace (host ndarray under the default numpy backend).
+        """
+        xp = self._array
+        assignments = xp.asarray(assignments)
+        if self._n_edges == 0:
+            return xp.zeros((assignments.shape[0],), dtype="float64")
         crossing = assignments[:, self._heads] != assignments[:, self._tails]
         if self._unit_weights:
-            return np.count_nonzero(crossing, axis=1).astype(np.float64)
-        return crossing @ self._weights
+            return xp.astype(xp.count_nonzero(crossing, axis=1), "float64")
+        return xp.matmul(xp.astype(crossing, "float64"), self._weights)
 
 
 @dataclass(frozen=True)

@@ -32,13 +32,16 @@ import numpy as np
 
 from repro.circuits.base import NeuromorphicCircuit
 from repro.cuts.cut import BatchCutEvaluator, Cut
-from repro.engine.backends import select_backend
+from repro.engine.backends import WeightBackend
 from repro.engine.coalesce import request_trial_seeds as _request_trial_seeds
 from repro.engine.request import SolveRequest, SolveResult
 from repro.engine.sampler import BatchDeviceSampler
 from repro.engine.simulator import BatchLIFSimulator
 from repro.engine.tracker import BestCutTracker
-from repro.neurons.encoding import membrane_sign_assignments, spikes_to_assignments
+from repro.neurons.encoding import (
+    membrane_sign_assignments_xp,
+    spikes_to_assignments_xp,
+)
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -59,10 +62,15 @@ class BatchedSolverEngine:
         n_neurons = plan.n_neurons
         n_steps = plan.burn_in + request.n_samples * plan.interval
 
-        backend = select_backend(
-            request.backend, plan.weights, graph=graph,
+        # One resolution point for both seams: the request's backend spec
+        # ("auto", "sparse", "torch:dense", ...) picks the array namespace
+        # and the weight backend together; an explicit weight name in the
+        # spec always wins over the density heuristic.
+        backend = WeightBackend.for_graph(
+            graph, plan.weights, policy=request.backend,
             sparse_weights=plan.sparse_weights,
         )
+        xp = backend.array
 
         if request.n_trials == 0:
             return self._empty_result(request, circuit, backend.name, graph)
@@ -157,6 +165,8 @@ class BatchedSolverEngine:
                 "n_blocks": len(blocks),
                 "n_devices": plan.n_devices,
                 "readout": plan.readout,
+                "array_backend": xp.name,
+                "array_device": xp.device_label(),
                 "early_stop_round": tracker.stop_round if early_stopped else None,
                 "deadline_exceeded": tracker.deadline_exceeded,
                 **plan.metadata,
@@ -185,17 +195,20 @@ class BatchedSolverEngine:
         """Simulate one trial block; returns the number of rounds completed."""
         trials = list(trials)
         n_trials = len(trials)
-        evaluator = BatchCutEvaluator(graph)
+        xp = simulator.xp
+        evaluator = BatchCutEvaluator(graph, array_backend=xp)
         # Device sampling always covers the full requested step count so each
-        # trial's RNG consumption matches the sequential path, but blocks that
-        # replay an earlier block's truncated round count only pay the weight
-        # product for the steps they will actually integrate.
+        # trial's RNG consumption matches the sequential path (the RNG bridge:
+        # sampling stays on host NumPy whatever the array backend), but blocks
+        # that replay an earlier block's truncated round count only pay the
+        # weight product for the steps they will actually integrate.
         states = sampler.sample_block(trials, n_steps)
         needed_steps = plan.burn_in + rounds_limit * plan.interval
         if needed_steps < n_steps:
             states = states[:, :needed_steps]
         split = plan.burn_in if plan.readout == "spike" else 0
-        currents = simulator.drive_currents(states, split_at=split)
+        # The one host->device transfer per block; identity on numpy.
+        currents = simulator.drive_currents(xp.asarray(states), split_at=split)
         del states
 
         learners = None
@@ -232,21 +245,33 @@ class BatchedSolverEngine:
         tracker.start_block()
         completed = 0
         for r, payload in rounds:
+            # Assignments are computed in the array namespace; only the small
+            # per-round products (cut weights, int8 assignments, recorded
+            # potentials) cross back to the host, where the tracker and the
+            # per-trial bests live.  Every `to_numpy` below is the identity
+            # on the numpy backend, so the host path is unchanged bitwise.
             if plan.readout == "membrane":
-                readout_rows = payload
-                assignments = membrane_sign_assignments(readout_rows)
+                readout_rows = None
+                if potentials_out is not None:
+                    readout_rows = xp.to_numpy(payload)
+                assignments = membrane_sign_assignments_xp(xp, payload)
             elif plan.readout == "spike":
                 readout_rows = None
-                assignments = spikes_to_assignments(payload)
+                assignments = spikes_to_assignments_xp(xp, payload)
             else:
-                readout_rows = payload[:, -1]
+                # Plasticity learners are host objects (the circuits' own
+                # rule implementations), so this read-out bridges each
+                # round's rows back to NumPy before stepping them.
+                rows = xp.to_numpy(payload)
+                readout_rows = rows[:, -1]
                 assignments = np.empty((n_trials, plan.n_neurons), dtype=np.int8)
                 for j, learner in enumerate(learners):
                     for k in range(plan.interval):
-                        learner.step(payload[j, k])
+                        learner.step(rows[j, k])
                     assignments[j] = learner.sign_assignment()
 
-            weights = evaluator.weights(assignments)
+            weights = xp.to_numpy(evaluator.weights(assignments))
+            assignments = xp.to_numpy(assignments)
             trajectories[:, r] = weights
             if potentials_out is not None and readout_rows is not None:
                 potentials_out[:, r] = readout_rows

@@ -111,12 +111,16 @@ class SolveRequest:
     config:
         Circuit configuration forwarded when the engine builds the circuit.
     backend:
-        ``"auto"``, ``"dense"``, or any name registered with
-        :func:`repro.engine.backends.register_backend`.  ``"auto"`` picks
-        ``sparse`` for large low-density graphs with square weight matrices
-        and ``dense`` otherwise.  Only the dense backend guarantees bitwise
-        identity with the sequential path; sparse agrees to floating-point
-        round-off.
+        Backend spec resolved by :func:`repro.engine.xp.resolve_backend`:
+        ``"auto"``, a weight backend (``"dense"``/``"sparse"`` or any name
+        registered with :func:`repro.engine.backends.register_backend`), an
+        array backend (``"numpy"``/``"torch"``/``"cupy"``), or the combined
+        ``"<array>:<weight>"`` form (e.g. ``"torch:dense"``).  An explicit
+        weight name is always honoured; ``"auto"`` picks ``sparse`` for
+        large low-density graphs with square weight matrices and ``dense``
+        otherwise.  Only the numpy array path guarantees bitwise identity
+        with the sequential circuits; sparse and accelerator (torch/cupy)
+        paths agree to floating-point round-off.
     early_stop:
         Optional plateau rule; ``None`` disables early stopping (required for
         exact sample-for-sample equivalence with the sequential path).

@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.utils.validation import ValidationError
 
-__all__ = ["spikes_to_assignments", "membrane_sign_assignments"]
+__all__ = [
+    "spikes_to_assignments",
+    "membrane_sign_assignments",
+    "spikes_to_assignments_xp",
+    "membrane_sign_assignments_xp",
+]
 
 
 def spikes_to_assignments(spikes: np.ndarray) -> np.ndarray:
@@ -53,3 +58,24 @@ def membrane_sign_assignments(potentials: np.ndarray, threshold: float = 0.0) ->
     if not np.isfinite(threshold):
         raise ValidationError("threshold must be finite")
     return np.where(potentials > threshold, 1, -1).astype(np.int8)
+
+
+def spikes_to_assignments_xp(xp, spikes):
+    """Array-namespace variant of :func:`spikes_to_assignments`.
+
+    *spikes* is a boolean array in *xp*'s namespace
+    (:class:`repro.engine.xp.ArrayBackend`); no validation, the batched
+    engine guarantees a 2-D mask.  On the numpy backend every call lowers to
+    the exact expression of the host function, so results stay bitwise
+    equal.
+    """
+    return xp.astype(xp.where(spikes, 1, -1), "int8")
+
+
+def membrane_sign_assignments_xp(xp, potentials, threshold: float = 0.0):
+    """Array-namespace variant of :func:`membrane_sign_assignments`.
+
+    Same contract as :func:`spikes_to_assignments_xp`: unvalidated, bitwise
+    equal to the host function on the numpy backend.
+    """
+    return xp.astype(xp.where(potentials > threshold, 1, -1), "int8")

@@ -18,10 +18,15 @@ it).  A request's life:
    fingerprint, circuit, backend, setup seed, sample count) — into one
    engine batch along the (trials, neurons) axis, up to
    ``max_batch_trials`` trials, via :func:`repro.engine.coalesce_requests`.
-   Each request keeps its own per-trial seeds, so the split responses are
-   bit-identical to standalone engine runs with the same seed (deadline
-   requests run solo: wall-clock truncation is the one thing batch-mates
-   could perturb).
+   Jobs that merely share the *fuse* shape (same circuit, backend, sample
+   count, and vertex count on **different** graphs) join the batch too, as
+   separate instance lanes stacked along the graph axis by
+   :func:`repro.engine.solve_instance_block` — one fused kernel invocation
+   when the lanes' engine plans agree exactly, with a bit-identical
+   per-lane fallback when they do not.  Each request keeps its own
+   per-trial seeds, so the split responses are bit-identical to standalone
+   engine runs with the same seed (deadline requests run solo: wall-clock
+   truncation is the one thing batch-mates could perturb).
 4. **Response.**  Split results are shaped into JSON-safe payloads (problem
    requests additionally lift the best assignment back to a native solution
    with its certificate constants), stored in the result cache, and handed
@@ -42,7 +47,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine import SolveRequest, SolveResult, coalesce_requests, solve, split_result
+from repro.engine import (
+    SolveRequest,
+    SolveResult,
+    coalesce_requests,
+    solve,
+    solve_instance_block,
+    split_result,
+)
+from repro.engine.xp import parse_backend_spec
 from repro.serve.cache import ContentAddressedCache, content_key
 from repro.serve.protocol import (
     AUTO_CIRCUIT,
@@ -61,7 +74,8 @@ _logger = get_logger("serve")
 class AdmissionError(ValidationError):
     """A request refused at the door, with a machine-readable *reason*.
 
-    Reasons: ``"queue_full"``, ``"budget"``, ``"too_large"``, ``"draining"``.
+    Reasons: ``"queue_full"``, ``"budget"``, ``"too_large"``, ``"draining"``,
+    ``"bad_backend"``.
     The HTTP layer maps these onto status codes (429 for ``queue_full``,
     503 for ``draining``, 400 otherwise).
     """
@@ -138,8 +152,8 @@ class ServeJob:
 
     __slots__ = (
         "job_id", "spec", "graph", "problem", "lifter", "certificate",
-        "shape_key", "result_key", "submitted_at", "admission_deadline",
-        "_event", "response", "routed",
+        "shape_key", "fuse_key", "result_key", "submitted_at",
+        "admission_deadline", "_event", "response", "routed",
     )
 
     def __init__(
@@ -173,6 +187,16 @@ class ServeJob:
         self.shape_key = content_key(
             "shape", graph.fingerprint(), spec.circuit, spec.backend,
             spec.setup_seed, spec.n_samples,
+        )
+        # Fusion shape: jobs sharing this key but *differing* in shape_key
+        # may still ride one batch as separate instance lanes, stacked along
+        # the graph axis by repro.engine.solve_instance_block.  The key is a
+        # cheap pre-filter (same circuit/backend/sample-count/vertex-count);
+        # the engine's exact shape comparison is the safety net and falls
+        # back to per-lane solves when the plans turn out incompatible.
+        self.fuse_key = content_key(
+            "fuse", spec.circuit, spec.backend, spec.n_samples,
+            graph.n_vertices,
         )
         self.result_key = content_key(
             "result", graph.fingerprint(), spec.circuit, spec.backend,
@@ -243,6 +267,8 @@ class SolverService:
         self._engine_jobs = 0
         self._engine_trials = 0
         self._coalesced_jobs = 0
+        self._fused_invocations = 0
+        self._fused_lanes = 0
         self._routed_requests = 0
         self._portfolio_model: Any = None
         self._portfolio_loaded = False
@@ -325,6 +351,15 @@ class SolverService:
         if self._draining:
             self._count_rejection("draining")
             raise AdmissionError("draining", "service is draining; not accepting requests")
+        try:
+            # Reject unknown backend specs at the door with a machine-readable
+            # reason — availability (e.g. torch not installed) is probed when
+            # the batch runs, but a name that can never resolve should not
+            # occupy a queue slot only to fail in the worker.
+            parse_backend_spec(spec.backend)
+        except ValidationError as exc:
+            self._count_rejection("bad_backend")
+            raise AdmissionError("bad_backend", str(exc)) from exc
         if spec.n_trials > self.config.max_trials_per_request:
             self._count_rejection("budget")
             raise AdmissionError(
@@ -462,7 +497,14 @@ class SolverService:
     def _pop_batch_locked(
         self, now: float
     ) -> Tuple[List[ServeJob], List[ServeJob]]:
-        """Pop the oldest job plus every queued same-shape job that fits."""
+        """Pop the oldest job plus every queued fusable job that fits.
+
+        Same-``shape_key`` mates coalesce along the trials axis exactly as
+        before; jobs that merely share the head's ``fuse_key`` (same circuit
+        family and geometry on *different* graphs) join as additional
+        instance lanes for graph-axis batching.  ``max_batch_trials`` caps
+        the combined trial count across all lanes.
+        """
         expired: List[ServeJob] = []
         while self._queue and self._queue[0].expired(now):
             expired.append(self._queue.popleft())
@@ -479,7 +521,7 @@ class SolverService:
             elif (
                 head.coalescable
                 and job.coalescable
-                and job.shape_key == head.shape_key
+                and job.fuse_key == head.fuse_key
                 and trials + job.spec.n_trials <= self.config.max_batch_trials
             ):
                 batch.append(job)
@@ -510,40 +552,79 @@ class SolverService:
         return self._circuits.get_or_build(key, build)
 
     def _run_batch(self, batch: List[ServeJob]) -> None:
-        circuit = self._circuit_for(batch[0])
-        requests = [
-            SolveRequest(
-                circuit=circuit,
-                n_trials=job.spec.n_trials,
-                n_samples=job.spec.n_samples,
-                seed=job.spec.seed,
-                backend=job.spec.backend,
-                deadline_seconds=job.spec.deadline_seconds,
-            )
-            for job in batch
-        ]
-        merged, slices = coalesce_requests(requests)
-        result = solve(merged)
-        parts = split_result(result, slices)
+        # Two batching axes.  Jobs sharing a shape_key (same graph/circuit/
+        # seed geometry) form a *lane* and coalesce along the trials axis;
+        # distinct lanes in the same batch share the fuse_key and stack
+        # along the graph axis through solve_instance_block, which runs one
+        # fused kernel when the lanes' engine plans agree exactly and falls
+        # back to per-lane solves (bit-identically) when they do not.
+        lanes: List[List[ServeJob]] = []
+        lane_index: Dict[str, int] = {}
+        for job in batch:
+            index = lane_index.get(job.shape_key)
+            if index is None:
+                lane_index[job.shape_key] = len(lanes)
+                lanes.append([job])
+            else:
+                lanes[index].append(job)
+        merged_requests: List[SolveRequest] = []
+        lane_slices = []
+        for lane in lanes:
+            circuit = self._circuit_for(lane[0])
+            requests = [
+                SolveRequest(
+                    circuit=circuit,
+                    n_trials=job.spec.n_trials,
+                    n_samples=job.spec.n_samples,
+                    seed=job.spec.seed,
+                    backend=job.spec.backend,
+                    deadline_seconds=job.spec.deadline_seconds,
+                )
+                for job in lane
+            ]
+            merged, slices = coalesce_requests(requests)
+            merged_requests.append(merged)
+            lane_slices.append(slices)
+        if len(merged_requests) == 1:
+            lane_results = [solve(merged_requests[0])]
+        else:
+            lane_results = solve_instance_block(merged_requests)
+        fused = len(lanes) > 1 and all(
+            r.metadata.get("instance_block") for r in lane_results
+        )
         now = time.perf_counter()
         with self._metrics_lock:
-            self._engine_invocations += 1
+            # A fused batch is one kernel invocation; a fallback ran one
+            # invocation per lane.  Keeping the count honest keeps the
+            # coalesce/occupancy ratios meaningful.
+            self._engine_invocations += 1 if fused or len(lanes) == 1 else len(lanes)
             self._engine_jobs += len(batch)
-            self._engine_trials += merged.n_trials
+            self._engine_trials += sum(m.n_trials for m in merged_requests)
             if len(batch) > 1:
                 self._coalesced_jobs += len(batch)
+            if fused:
+                self._fused_invocations += 1
+                self._fused_lanes += len(lanes)
             self._completed += len(batch)
             for job in batch:
                 self._latencies.append(now - job.submitted_at)
-        for job, part in zip(batch, parts):
-            response = self._shape_response(job, part, batch_jobs=len(batch))
-            self._results.put(job.result_key, response)
-            final = dict(response)
-            final["routed"] = job.routed
-            final["wait_seconds"] = float(now - job.submitted_at)
-            job.complete(final)
+        for lane, result, slices in zip(lanes, lane_results, lane_slices):
+            parts = split_result(result, slices)
+            for job, part in zip(lane, parts):
+                response = self._shape_response(
+                    job, part, batch_jobs=len(batch),
+                    fused_lanes=len(lanes) if fused else 1,
+                )
+                self._results.put(job.result_key, response)
+                final = dict(response)
+                final["routed"] = job.routed
+                final["wait_seconds"] = float(now - job.submitted_at)
+                job.complete(final)
 
-    def _shape_response(self, job: ServeJob, part: SolveResult, batch_jobs: int) -> dict:
+    def _shape_response(
+        self, job: ServeJob, part: SolveResult, batch_jobs: int,
+        fused_lanes: int = 1,
+    ) -> dict:
         spec = job.spec
         best = part.best_cut
         response = {
@@ -564,6 +645,7 @@ class SolverService:
             "coalesced": batch_jobs > 1,
             "batch_jobs": int(batch_jobs),
             "batch_trials": int(part.metadata.get("batch_trials", part.n_trials)),
+            "fused_lanes": int(fused_lanes),
             "deadline_exceeded": bool(part.metadata.get("deadline_exceeded", False)),
             "cached": False,
             "wait_seconds": 0.0,
@@ -627,6 +709,8 @@ class SolverService:
                     "jobs": jobs,
                     "trials": trials,
                     "coalesced_jobs": self._coalesced_jobs,
+                    "fused_invocations": self._fused_invocations,
+                    "fused_lanes": self._fused_lanes,
                     "coalesce_ratio": (jobs / invocations) if invocations else 0.0,
                     "mean_batch_trials": (trials / invocations) if invocations else 0.0,
                     "batch_occupancy": (

@@ -37,6 +37,21 @@ baseline (``benchmarks/baseline.json``):
     every-candidate budget, and its floor gates how much cut quality the
     halving may give up.  Wall times of both paths are recorded so the
     budget saving stays visible in the artifact.
+``engine-tensor``
+    The array-backend seam (:mod:`repro.engine.xp`): the engine run through
+    an explicit ``numpy:dense`` spec must be bit-identical to the default
+    ``auto`` engine run *and* to the sequential reference; when torch is
+    installed, the ``torch:dense`` path must agree to floating-point
+    round-off.  ``speedup`` is the fraction of parity checks passed
+    (deterministic; 1.0 = every check holds), so its floor gates the
+    seam's correctness guarantee, not wall clock.  Wall times of every
+    path ride along in the detail.
+``engine-instance-batch``
+    Graph-axis batching (:func:`repro.engine.solve_instance_block`): K
+    same-shape instances × trials fused into one lock-step kernel
+    invocation vs solving the K requests through the engine one at a time.
+    ``speedup`` is the per-instance / fused wall-time ratio; fused results
+    must be bit-identical to the per-instance solves.
 ``scale-generate``
     The CSR-native vectorised Barabási–Albert generator
     (:func:`repro.scale.generators.scale_barabasi_albert`) vs the legacy
@@ -141,6 +156,8 @@ def bench_scenarios(spec: WorkloadSpec) -> List[Tuple[str]]:
     scenarios.append(("problems-compile",))
     scenarios.append(("serve-batching",))
     scenarios.append(("portfolio-route",))
+    scenarios.append(("engine-tensor",))
+    scenarios.append(("engine-instance-batch",))
     scenarios.append(("scale-generate",))
     scenarios.append(("sketch-vs-exact",))
     return scenarios
@@ -464,6 +481,148 @@ def _run_portfolio_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     }
 
 
+def _run_engine_tensor_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.circuits.lif_gw import LIFGWCircuit
+    from repro.engine import get_array_backend
+
+    # Parity gate of the array-backend seam.  All paths run the same circuit
+    # instance with the same seeds; the gated "speedup" is the fraction of
+    # parity checks that hold (deterministic), wall times ride in the detail.
+    graph = _bench_graph(spec)
+    n_trials = spec.budget.n_trials
+    n_samples = spec.budget.n_samples
+    seed = spec.seed
+    instance = LIFGWCircuit(graph, seed=seed)
+    common = dict(
+        circuit=instance, graph=None, n_trials=n_trials,
+        n_samples=n_samples, seed=seed,
+    )
+
+    started = time.perf_counter()
+    auto = run_circuit_trials(backend="auto", **common)
+    auto_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    numpy_spec = run_circuit_trials(backend="numpy:dense", **common)
+    numpy_elapsed = time.perf_counter() - started
+
+    reference = run_circuit_trials(use_engine=False, **common)
+
+    def _identical(a, b):
+        return bool(
+            np.array_equal(a.trial_best_weights, b.trial_best_weights)
+            and np.array_equal(a.trial_best_assignments, b.trial_best_assignments)
+            and np.array_equal(a.trajectories, b.trajectories)
+        )
+
+    checks = {
+        "numpy_spec_bit_identical_to_auto": _identical(numpy_spec, auto),
+        "numpy_engine_bit_identical_to_sequential": _identical(auto, reference),
+    }
+    detail: Dict[str, Any] = {
+        "graph": graph.name,
+        "n_vertices": int(graph.n_vertices),
+        "n_trials": int(n_trials),
+        "n_samples": int(n_samples),
+        "auto_wall_seconds": float(auto_elapsed),
+        "numpy_wall_seconds": float(numpy_elapsed),
+        "array_backend": str(auto.metadata.get("array_backend", "numpy")),
+    }
+    torch_available, torch_reason = get_array_backend("torch").available()
+    detail["torch_available"] = bool(torch_available)
+    if torch_available:
+        started = time.perf_counter()
+        torch_result = run_circuit_trials(backend="torch:dense", **common)
+        detail["torch_wall_seconds"] = float(time.perf_counter() - started)
+        checks["torch_allclose_to_numpy"] = bool(
+            np.allclose(torch_result.trial_best_weights, auto.trial_best_weights)
+            and np.allclose(torch_result.trajectories, auto.trajectories)
+        )
+    else:
+        detail["torch_skip_reason"] = torch_reason
+    detail["checks"] = {key: bool(value) for key, value in checks.items()}
+    passed = sum(1 for value in checks.values() if value)
+    detail["results_match"] = passed == len(checks)
+    return {
+        "scenario": "engine-tensor",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(numpy_elapsed),
+        "baseline_seconds": float(auto_elapsed),
+        "speedup": float(passed / len(checks)),
+        "detail": detail,
+    }
+
+
+def _run_instance_batch_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
+    from repro.circuits.lif_gw import LIFGWCircuit
+    from repro.engine import SolveRequest, solve, solve_instance_block
+    from repro.graphs.generators import erdos_renyi
+
+    # K same-shape instances (distinct ER graphs, one size) × a few trials
+    # each, solved two ways with identical seeds: one engine invocation per
+    # instance, vs a single fused lock-step kernel over the stacked graph
+    # axis.  Small per-instance trial counts are the shape fusion exists for
+    # (the serve coalescer's many-small-requests regime) — that is where the
+    # per-round Python overhead the fusion amortises dominates.  The
+    # circuits (and their SDP stage) are built outside both timed sections,
+    # so the ratio measures the simulation loop itself.
+    params = dict(spec.params)
+    count = int(params.get("instance_count", 8))
+    n = int(params.get("instance_n", 48))
+    n_trials = int(params.get("instance_trials", 2))
+    n_samples = spec.budget.n_samples
+    seed = spec.seed
+    graphs = [erdos_renyi(n, 0.5, seed=seed + index) for index in range(count)]
+    circuits = [
+        LIFGWCircuit(graph, seed=seed + index)
+        for index, graph in enumerate(graphs)
+    ]
+    requests = [
+        SolveRequest(
+            circuit=circuit, n_trials=n_trials, n_samples=n_samples,
+            seed=seed + index, backend=spec.policy.backend,
+        )
+        for index, circuit in enumerate(circuits)
+    ]
+
+    started = time.perf_counter()
+    per_instance = [solve(request) for request in requests]
+    per_instance_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fused = solve_instance_block(requests)
+    fused_elapsed = time.perf_counter() - started
+
+    fused_for_real = all(
+        result.metadata.get("instance_block") for result in fused
+    )
+    results_match = fused_for_real and all(
+        np.array_equal(a.trial_best_weights, b.trial_best_weights)
+        and np.array_equal(a.trial_best_assignments, b.trial_best_assignments)
+        and np.array_equal(a.trajectories, b.trajectories)
+        for a, b in zip(per_instance, fused)
+    )
+    return {
+        "scenario": "engine-instance-batch",
+        "suite": spec.graphs.label,
+        "wall_seconds": float(fused_elapsed),
+        "baseline_seconds": float(per_instance_elapsed),
+        "speedup": float(per_instance_elapsed / fused_elapsed)
+                   if fused_elapsed > 0 else float("inf"),
+        "detail": {
+            "n_instances": count,
+            "n_vertices": n,
+            "n_trials_per_instance": int(n_trials),
+            "n_samples": int(n_samples),
+            "fused_trials": int(count * n_trials),
+            "fused": bool(fused_for_real),
+            "per_instance_wall_seconds": float(per_instance_elapsed),
+            "fused_wall_seconds": float(fused_elapsed),
+            "results_match": bool(results_match),
+        },
+    }
+
+
 def _run_scale_generate_scenario(spec: WorkloadSpec) -> Dict[str, Any]:
     from repro.graphs.generators import barabasi_albert
     from repro.scale.generators import scale_barabasi_albert
@@ -566,6 +725,10 @@ def run_bench_scenario(spec: WorkloadSpec, scenario: str) -> Dict[str, Any]:
         return _run_serve_scenario(spec)
     if scenario == "portfolio-route":
         return _run_portfolio_scenario(spec)
+    if scenario == "engine-tensor":
+        return _run_engine_tensor_scenario(spec)
+    if scenario == "engine-instance-batch":
+        return _run_instance_batch_scenario(spec)
     if scenario == "scale-generate":
         return _run_scale_generate_scenario(spec)
     if scenario == "sketch-vs-exact":
@@ -669,6 +832,7 @@ register_workload(Workload(
         "suite": "er-small", "trials": 16, "samples": 128,
         "solvers": ("lif_tr", "random"), "backend": "auto", "arena_shards": 2,
         "scale_n": 3000, "sketch_n": 1024,
+        "instance_count": 8, "instance_n": 48, "instance_trials": 2,
     },
     build_spec=_bench_spec,
     execute=_bench_execute,

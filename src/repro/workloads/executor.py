@@ -46,6 +46,8 @@ import numpy as np
 from repro.algorithms.registry import SolverSpec
 from repro.analysis.ratios import relative_cut_weight
 from repro.arena.results import ArenaEntry, ArenaResult
+from repro.engine.instances import solve_instance_block
+from repro.engine.request import SolveRequest, SolveResult
 from repro.engine.sampler import trial_seed_sequences
 from repro.experiments import runner as _runner
 from repro.graphs.graph import Graph
@@ -217,16 +219,74 @@ def _run_engine_unit(
         trial_offset=trial_lo,
         deadline_seconds=budget.max_seconds,
     )
+    return _engine_unit_payload(result)
+
+
+def _engine_unit_payload(result: SolveResult) -> Tuple[List[float], int, dict]:
+    """Fold a :class:`SolveResult` into the unit (weights, samples, meta) triple."""
     metadata = {
         "engine_elapsed_seconds": float(result.elapsed_seconds),
         "engine_backend": result.backend_name,
         "n_rounds": int(result.n_rounds),
         "early_stopped": bool(result.early_stopped),
     }
+    if result.metadata.get("array_backend", "numpy") != "numpy":
+        metadata["array_backend"] = str(result.metadata["array_backend"])
+    block = result.metadata.get("instance_block")
+    if block:
+        metadata["instance_block"] = {
+            "size": int(block["size"]),
+            "fused_trials": int(block["fused_trials"]),
+        }
     if result.metadata.get("deadline_exceeded"):
         metadata["budget_truncated"] = True
     weights = [float(w) for w in np.asarray(result.trial_best_weights, dtype=float)]
     return weights, int(result.n_rounds), metadata
+
+
+def _fused_engine_results(
+    spec: WorkloadSpec,
+    prepared: Sequence[Tuple[int, CellUnit, Graph, SolverSpec]],
+) -> Dict[int, Tuple[SolveResult, float]]:
+    """Graph-axis batching pre-pass: fuse the engine units into one kernel batch.
+
+    Returns ``{unit position: (result, attributed wall seconds)}`` for every
+    batchable unit when fusion applies, else an empty dict (the caller's
+    per-unit loop then runs them individually).  Fusion applies only with
+    ``policy.instance_batch`` on, the engine enabled, at least two batchable
+    units, and no wall-clock budget (a deadline truncating the fused block
+    would couple cells).  :func:`solve_instance_block` itself falls back to
+    per-request solves when the units' execution shapes differ, so results
+    are always exactly what the unfused loop would produce; the shared wall
+    time is attributed to units proportionally to their trial counts.
+    """
+    policy, budget = spec.policy, spec.budget
+    if not (policy.instance_batch and policy.use_engine) or budget.max_seconds is not None:
+        return {}
+    engine_units = [p for p in prepared if p[3].batchable]
+    if len(engine_units) < 2:
+        return {}
+    seed = _check_resolved_seed(spec)
+    requests = [
+        SolveRequest(
+            circuit=solver.circuit,
+            graph=graph,
+            n_trials=hi - lo,
+            n_samples=budget.n_samples,
+            seed=paired_seed(seed, g),
+            trial_offset=lo,
+            backend=policy.backend,
+        )
+        for _, (g, _, lo, hi), graph, solver in engine_units
+    ]
+    started = time.perf_counter()
+    results = solve_instance_block(requests)
+    wall = time.perf_counter() - started
+    total_trials = sum(result.n_trials for result in results) or 1
+    return {
+        position: (result, wall * result.n_trials / total_trials)
+        for (position, _, _, _), result in zip(engine_units, results)
+    }
 
 
 def _run_sequential_unit(
@@ -287,8 +347,8 @@ def run_cell_units(
     policy = spec.policy
     parallel = policy.parallel_config()
 
-    payloads: List[dict] = []
-    for unit in units:
+    prepared: List[Tuple[int, CellUnit, Graph, SolverSpec]] = []
+    for position, unit in enumerate(units):
         g, key, lo, hi = unit
         if not (0 <= g < len(graphs)):
             raise ValidationError(
@@ -296,22 +356,33 @@ def run_cell_units(
             )
         if key not in by_key:
             raise ValidationError(f"unit names unknown solver {key!r}")
-        graph = graphs[g]
-        solver = by_key[key]
+        prepared.append((position, unit, graphs[g], by_key[key]))
+
+    # Graph-axis batching: all batchable units in one fused kernel batch
+    # (bit-identical to the per-unit loop; see _fused_engine_results).
+    fused = _fused_engine_results(spec, prepared)
+
+    payloads: List[dict] = []
+    for position, unit, graph, solver in prepared:
+        g, key, lo, hi = unit
         # Root of suite graph g, created fresh per unit so SeedSequence spawn
         # state never leaks between units; trials are its (g, i) children.
         root = paired_seed(seed, g)
         started = time.perf_counter()
         on_engine = bool(policy.use_engine and solver.batchable)
-        if on_engine:
+        if position in fused:
+            result, elapsed = fused[position]
+            weights, samples_run, metadata = _engine_unit_payload(result)
+        elif on_engine:
             weights, samples_run, metadata = _run_engine_unit(
                 solver, graph, budget, root, policy.backend, lo, hi
             )
+            elapsed = time.perf_counter() - started
         else:
             weights, samples_run, metadata = _run_sequential_unit(
                 solver, graph, budget, root, parallel, lo, hi
             )
-        elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started
         if budget.max_seconds is not None and elapsed > budget.max_seconds:
             metadata.setdefault(
                 "budget_overrun_seconds", float(elapsed - budget.max_seconds)

@@ -301,14 +301,28 @@ class ExecutionPolicy(ValidatedConfig):
         off — reference timings); ``"sequential"`` additionally forces one
         in-process worker.
     backend:
-        Engine weight backend for batchable solvers (``"auto"``/``"dense"``/
-        ``"sparse"``).
+        Engine backend spec for batchable solvers, resolved by
+        :func:`repro.engine.xp.resolve_backend`: ``"auto"``, a weight
+        backend (``"dense"``/``"sparse"``), an array backend
+        (``"numpy"``/``"torch"``/``"cupy"``), or ``"<array>:<weight>"``
+        (e.g. ``"torch:dense"``).  An explicit weight name always
+        overrides the engine's density heuristic, so ``--backend sparse``
+        is honoured even on small graphs.  Validated at policy
+        construction (spec syntax and registry names; array availability
+        is probed at solve time).
+    instance_batch:
+        When True (default), the executor fuses same-shape cell units
+        into one :class:`repro.engine.instances.InstanceBlock` kernel
+        batch (graph-axis batching).  Results are bit-identical either
+        way; turn off to force one engine invocation per graph
+        (reference timings).
     n_workers:
         Process workers for per-trial execution (``None`` = cpu count).
     """
 
     mode: str = "auto"
     backend: str = "auto"
+    instance_batch: bool = True
     n_workers: Optional[int] = 1
 
     def validate(self) -> None:
@@ -316,6 +330,11 @@ class ExecutionPolicy(ValidatedConfig):
             raise ValidationError(
                 f"execution mode must be one of {EXECUTION_MODES}, got {self.mode!r}"
             )
+        # Parse-only check: unknown names fail fast here; whether an
+        # accelerator is importable is probed when the engine resolves it.
+        from repro.engine.xp import parse_backend_spec
+
+        parse_backend_spec(self.backend)
         if self.n_workers is not None and self.n_workers < 0:
             raise ValidationError(
                 f"n_workers must be >= 0 or None, got {self.n_workers}"

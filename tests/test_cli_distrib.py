@@ -174,6 +174,7 @@ class TestBenchCommand:
         assert scenarios == {
             "engine:lif_gw", "engine:lif_tr", "sharded:arena",
             "problems-compile", "serve-batching", "portfolio-route",
+            "engine-tensor", "engine-instance-batch",
             "scale-generate", "sketch-vs-exact",
         }
 

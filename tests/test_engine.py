@@ -335,7 +335,7 @@ class TestEngineCli:
 
         code = main(["engine", "--er", "20", "0.3", "--backend", "spare"])
         assert code == 2
-        assert "unknown backend 'spare'" in capsys.readouterr().err
+        assert "unknown backend spec 'spare'" in capsys.readouterr().err
 
     def test_engine_command_early_stop_fires_on_short_runs(self, capsys):
         """--early-stop-patience must be able to fire below 64 samples."""

@@ -116,6 +116,49 @@ class TestBackends:
         assert np.array_equal(auto.trajectories, dense.trajectories)
 
 
+class TestDeprecatedShims:
+    """select_backend/get_backend warn once and stay pinned to the new API."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warn_once(self):
+        from repro.engine import backends as backends_module
+
+        saved = set(backends_module._DEPRECATION_WARNED)
+        backends_module._DEPRECATION_WARNED.clear()
+        yield
+        backends_module._DEPRECATION_WARNED.clear()
+        backends_module._DEPRECATION_WARNED.update(saved)
+
+    def test_select_backend_warns_once(self):
+        import warnings
+
+        with pytest.warns(DeprecationWarning, match="for_graph"):
+            select_backend("dense", np.eye(4))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            select_backend("dense", np.eye(4))
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in record
+        )
+
+    def test_get_backend_warns(self):
+        with pytest.warns(DeprecationWarning):
+            get_backend("dense")
+
+    def test_shim_output_pinned_to_for_graph(self):
+        from repro.engine import WeightBackend
+
+        graph = erdos_renyi(40, 0.3, seed=0)
+        rng = np.random.default_rng(2)
+        weights = rng.standard_normal((40, 40))
+        states = rng.integers(0, 2, size=(12, 40)).astype(np.int8)
+        with pytest.warns(DeprecationWarning):
+            old = select_backend("dense", weights, graph=graph)
+        new = WeightBackend.for_graph(graph, weights, policy="dense")
+        assert type(old) is type(new)
+        assert np.array_equal(old.drive(states, 0.5), new.drive(states, 0.5))
+
+
 class TestSampler:
     def test_trial_seeds_match_seedstream_children(self):
         seeds = trial_seed_sequences(42, 3)

@@ -1,0 +1,171 @@
+"""Tests for graph-axis batching (repro.engine.instances).
+
+The contract under test: fusing same-shape instances into one InstanceBlock
+kernel invocation is invisible in the outputs — every fused result is
+bit-identical to solving its request alone — and every incompatible mix
+falls back to per-request solves rather than erroring, again with
+identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import LIFGWCircuit, LIFGWConfig
+from repro.engine import (
+    EarlyStopConfig,
+    InstanceBlock,
+    SolveRequest,
+    fusion_compatible,
+    solve,
+    solve_instance_block,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.utils.validation import ValidationError
+
+
+def _requests(count=3, n=24, trials=2, samples=6, circuit="lif_gw", **kwargs):
+    graphs = [erdos_renyi(n, 0.5, seed=100 + i) for i in range(count)]
+    return [
+        SolveRequest(
+            circuit=circuit, graph=graph, n_trials=trials, n_samples=samples,
+            seed=7 + i, **kwargs,
+        )
+        for i, graph in enumerate(graphs)
+    ]
+
+
+def _assert_identical(fused, solo):
+    assert np.array_equal(fused.trajectories, solo.trajectories)
+    assert np.array_equal(fused.trial_best_weights, solo.trial_best_weights)
+    assert np.array_equal(
+        fused.trial_best_assignments, solo.trial_best_assignments
+    )
+    assert fused.best_weight == solo.best_weight
+
+
+class TestFusedEqualsPerInstance:
+    def test_membrane_readout_bitwise_identical(self):
+        requests = _requests()
+        fused = solve_instance_block(requests)
+        assert len(fused) == len(requests)
+        for result, request in zip(fused, requests):
+            block = result.metadata["instance_block"]
+            assert block["size"] == len(requests)
+            assert block["fused_trials"] == sum(r.n_trials for r in requests)
+            _assert_identical(result, solve(request))
+
+    def test_spike_readout_bitwise_identical(self):
+        graphs = [erdos_renyi(20, 0.5, seed=200 + i) for i in range(3)]
+        config = LIFGWConfig(readout="spike")
+        requests = [
+            SolveRequest(
+                circuit=LIFGWCircuit(graph, config=config, seed=30 + i),
+                graph=graph, n_trials=2, n_samples=5, seed=30 + i,
+            )
+            for i, graph in enumerate(graphs)
+        ]
+        fused = solve_instance_block(requests)
+        assert all(r.metadata.get("instance_block") for r in fused)
+        for result, request in zip(fused, requests):
+            _assert_identical(result, solve(request))
+
+    def test_mixed_trial_counts_fuse(self):
+        graphs = [erdos_renyi(24, 0.5, seed=300 + i) for i in range(3)]
+        requests = [
+            SolveRequest(
+                circuit="lif_gw", graph=graph, n_trials=trials, n_samples=6,
+                seed=40 + i,
+            )
+            for i, (graph, trials) in enumerate(zip(graphs, (1, 3, 2)))
+        ]
+        fused = solve_instance_block(requests)
+        assert fused[0].metadata["instance_block"]["fused_trials"] == 6
+        for result, request in zip(fused, requests):
+            _assert_identical(result, solve(request))
+
+    def test_record_assignments_survive_fusion(self):
+        requests = _requests(count=2, record_assignments=True)
+        fused = solve_instance_block(requests)
+        for result, request in zip(fused, requests):
+            solo = solve(request)
+            assert result.assignments is not None
+            assert np.array_equal(result.assignments, solo.assignments)
+
+
+class TestFallbacks:
+    def _assert_fallback_identical(self, requests):
+        results = solve_instance_block(requests)
+        assert len(results) == len(requests)
+        for result, request in zip(results, requests):
+            assert not result.metadata.get("instance_block")
+            _assert_identical(result, solve(request))
+
+    def test_shape_mismatch_falls_back(self):
+        small = _requests(count=1, n=20)
+        large = _requests(count=1, n=28)
+        self._assert_fallback_identical(small + large)
+
+    def test_early_stop_falls_back(self):
+        self._assert_fallback_identical(
+            _requests(count=2, early_stop=EarlyStopConfig(patience=2))
+        )
+
+    def test_deadline_falls_back(self):
+        self._assert_fallback_identical(
+            _requests(count=2, deadline_seconds=60.0)
+        )
+
+    def test_plasticity_readout_falls_back(self):
+        # lif_tr's plasticity read-out needs per-step weight updates, which
+        # the lock-step fused kernel cannot interleave.
+        self._assert_fallback_identical(_requests(count=2, circuit="lif_tr"))
+
+    def test_memory_cap_falls_back(self):
+        self._assert_fallback_identical(_requests(count=2, max_block_bytes=64))
+
+
+class TestFusionCompatible:
+    def test_compatible_reports_reason(self):
+        ok, reason = fusion_compatible(_requests())
+        assert ok
+        assert reason == "compatible"
+
+    def test_incompatible_reasons_are_specific(self):
+        base = _requests(count=1)
+        cases = [
+            (base + _requests(count=1, n=30), "execution shape"),
+            (_requests(count=2, early_stop=EarlyStopConfig()), "early_stop"),
+            (_requests(count=2, deadline_seconds=5.0), "deadline_seconds"),
+            (_requests(count=2, trials=0), "n_trials"),
+        ]
+        for requests, fragment in cases:
+            ok, reason = fusion_compatible(requests)
+            assert not ok
+            assert fragment in reason
+
+    def test_block_build_raises_on_incompatible(self):
+        requests = _requests(count=1, n=20) + _requests(count=1, n=28)
+        with pytest.raises(ValidationError, match="cannot fuse"):
+            InstanceBlock.build(requests)
+
+    def test_block_build_raises_over_memory_cap(self):
+        with pytest.raises(ValidationError, match="block cap"):
+            InstanceBlock.build(_requests(count=2, max_block_bytes=64))
+
+
+class TestEdgeCases:
+    def test_empty_request_list(self):
+        assert solve_instance_block([]) == []
+
+    def test_single_request_matches_solve(self):
+        (request,) = _requests(count=1)
+        (result,) = solve_instance_block([request])
+        _assert_identical(result, solve(request))
+
+    def test_results_positionally_aligned(self):
+        requests = _requests(count=4)
+        results = solve_instance_block(requests)
+        for index, result in enumerate(results):
+            assert result.metadata["instance_block"]["index"] == index
