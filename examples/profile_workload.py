@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Observability (repro.obs) — runs in < 5 s.
+
+Demonstrates the tracing + metrics layer behind ``repro profile`` and
+``GET /metrics``:
+
+1. run a workload under ``capture()`` and render the per-phase breakdown
+   (the library form of ``repro profile <workload>``),
+2. export the same spans as Chrome trace-event JSON for chrome://tracing,
+3. show that tracing never perturbs results: the traced run's winner and
+   best weights equal an untraced run with the same seed,
+4. scrape a solve service's metrics registry as Prometheus text.
+
+Usage:
+    python examples/profile_workload.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import graph_to_dict
+from repro.obs import capture, chrome_trace, render_profile, render_prometheus
+from repro.serve import SolverService
+from repro.workloads import Session
+
+PARAMS = dict(
+    solvers=("lif_tr", "random"),
+    suite="er-small",
+    trials=1,
+    samples=16,
+    seed=0,
+)
+
+
+def main() -> None:
+    # 1. Capture a traced workload run and render where the time went.
+    with capture() as trace:
+        traced = Session.from_workload("arena", **PARAMS).run()
+    print(render_profile(trace.spans, top=8,
+                         title=f"arena workload — {len(trace.spans)} spans"))
+
+    # 2. The same spans as a Chrome trace: open in chrome://tracing
+    #    or https://ui.perfetto.dev for a per-thread timeline.
+    payload = chrome_trace(trace.spans)
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as handle:
+        json.dump(payload, handle)
+    print(f"\n{len(payload['traceEvents'])} trace events "
+          f"written to {handle.name}")
+
+    # 3. Tracing is free in answers: an untraced run agrees exactly.
+    untraced = Session.from_workload("arena", **PARAMS).run()
+    traced_cells = {
+        (e.graph_name, e.solver): e.best_weight for e in traced.records
+    }
+    untraced_cells = {
+        (e.graph_name, e.solver): e.best_weight for e in untraced.records
+    }
+    assert traced_cells == untraced_cells
+    print(f"traced/untraced agreement: all {len(traced_cells)} cells equal; "
+          f"per-phase timing recorded only when traced: "
+          f"{'timing' in traced.metadata} vs {'timing' in untraced.metadata}")
+
+    # 4. A solve service exposes the same registry two ways: the pinned
+    #    /stats JSON and Prometheus text (GET /metrics on the HTTP server).
+    graph = erdos_renyi(16, 0.35, seed=1)
+    with SolverService() as service:
+        service.solve(
+            {"graph": graph_to_dict(graph), "circuit": "lif_tr",
+             "trials": 2, "samples": 8, "seed": 0},
+            timeout=60,
+        )
+        stats = service.stats()
+        text = render_prometheus(service.registry)
+    print(f"\nserve stats: {stats['completed']} completed, "
+          f"p50 {stats['latency']['p50_seconds']:.4f}s")
+    print("prometheus sample:")
+    for line in text.splitlines():
+        if line.startswith("repro_serve_admitted_total") or \
+                line.startswith("repro_serve_request_latency_seconds_count"):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

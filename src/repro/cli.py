@@ -26,8 +26,13 @@ engine      Run trial-parallel batched circuit simulation (repro.engine):
 serve       Run the solver as a daemon (repro.serve): an async request queue
             over HTTP or a unix socket that coalesces same-shape requests
             into single engine batches, caches served results by content,
-            and exposes queue/batching/cache metrics on ``/stats``.
-            SIGTERM drains the queue before exiting.
+            and exposes queue/batching/cache metrics on ``/stats`` plus
+            Prometheus text on ``/metrics``.  SIGTERM drains the queue
+            before exiting.
+profile     Run any registered workload under the tracer (repro.obs) and
+            print an ASCII per-phase breakdown; ``--format chrome`` writes
+            a Perfetto-loadable Chrome trace-event JSON, ``--format
+            summary`` the per-phase aggregate JSON.
 graphs      List the empirical graphs in the Table I registry.
 
 Deprecated shims (still functional, emit ``DeprecationWarning``)
@@ -310,6 +315,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", type=str, default=None, metavar="FILE",
                        help="portfolio model used to route \"solver\": "
                             "\"auto\" requests (from `repro portfolio fit`)")
+
+    # profile ----------------------------------------------------------------
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a workload under the tracer and break down where time went",
+        description=(
+            "Run any registered workload with span collection enabled "
+            "(repro.obs) and print an ASCII per-phase breakdown: a table of "
+            "every span name with inclusive/exclusive seconds plus bar "
+            "charts of the top-N phases. --format chrome (the default) "
+            "additionally writes a Chrome trace-event JSON file loadable in "
+            "Perfetto / chrome://tracing; --format summary writes the "
+            "per-phase aggregate as JSON instead. Tracing never perturbs "
+            "seeding, so the profiled run's results are identical to "
+            "`repro run` with the same parameters."
+        ),
+    )
+    profile.add_argument("workload", metavar="WORKLOAD",
+                         help="registered workload name (see `repro workloads`)")
+    profile.add_argument("--param", "-p", action="append", default=[], metavar="K=V",
+                         help="override one workload parameter (repeatable)")
+    profile.add_argument("--trials", type=int, default=None,
+                         help="shorthand for --param trials=N")
+    profile.add_argument("--samples", type=int, default=None,
+                         help="shorthand for --param samples=N")
+    profile.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="profile the sharded execution path (per-shard "
+                              "timings are folded into the merge)")
+    profile.add_argument("--out", type=str, default=None, metavar="FILE",
+                         help="trace file path (default: trace.json for "
+                              "--format chrome; summary is print-only "
+                              "without --out)")
+    profile.add_argument("--format", choices=["chrome", "summary"],
+                         default="chrome", dest="trace_format",
+                         help="trace file format: Chrome trace-event JSON "
+                              "(default) or the per-phase summary JSON")
+    profile.add_argument("--top", type=int, default=10,
+                         help="span names shown in the ASCII bar charts")
+    profile.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                         help="root random seed (same as the global --seed)")
+    profile.add_argument("--save", type=str, default=argparse.SUPPRESS, metavar="FILE",
+                         help="write the RunReport (with its timing block) to "
+                              "this JSON file (same as the global --save)")
 
     # portfolio --------------------------------------------------------------
     portfolio = subparsers.add_parser(
@@ -639,6 +687,57 @@ def _command_bench(args: argparse.Namespace) -> int:
             return 1
         floors = dict(baseline.get("min_speedup", {}))
         print(f"baseline gate: OK ({len(floors)} floor(s) from {args.check})")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import capture, chrome_trace, profile_summary, render_profile
+    from repro.workloads import Session, get_workload
+    from repro.workloads.registry import coerce_param_strings
+
+    try:
+        workload = get_workload(args.workload)
+        raw: Dict[str, Any] = {}
+        for item in args.param:
+            if "=" not in item:
+                raise ValidationError(f"--param expects K=V, got {item!r}")
+            key, text = item.split("=", 1)
+            raw[key.strip()] = text
+        for key in ("trials", "samples"):
+            value = getattr(args, key)
+            if value is not None:
+                raw[key] = value
+        overrides = {"seed": args.seed, **coerce_param_strings(workload, raw)}
+        session = Session.from_workload(args.workload, **overrides)
+        with capture() as trace:
+            report = session.run(shards=args.shards)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spans = trace.spans
+    print(render_profile(
+        spans, top=args.top,
+        title=(f"profile: workload {args.workload!r} — "
+               f"{report.elapsed_seconds:.3f}s wall, {len(spans)} span(s)"),
+    ))
+    out = args.out
+    if args.trace_format == "chrome":
+        out = out or "trace.json"
+        payload = chrome_trace(spans)
+    else:
+        payload = profile_summary(spans)
+    if out is not None:
+        from repro.experiments.runner import atomic_write_json
+
+        atomic_write_json(out, payload)
+        kind = ("Chrome trace-event" if args.trace_format == "chrome"
+                else "profile summary")
+        print(f"\n{kind} JSON written to {out}")
+    if args.save:
+        report.save(args.save)
+        print(f"results written to {args.save}")
     return 0
 
 
@@ -1057,6 +1156,7 @@ _COMMANDS = {
     "backends": _command_backends,
     "merge": _command_merge,
     "bench": _command_bench,
+    "profile": _command_profile,
     "solve": _command_solve,
     "engine": _command_engine,
     "serve": _command_serve,

@@ -12,12 +12,14 @@ batch evaluator works directly on the edge list:  evaluating ``k`` cuts costs
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs.trace import accumulate, tracing_enabled
 from repro.utils.validation import ValidationError, check_spin_vector
 
 __all__ = [
@@ -153,7 +155,21 @@ class BatchCutEvaluator:
         *assignments* may be host numpy or already in the evaluator's array
         namespace; the result is a length-``k`` float64 vector in the
         namespace (host ndarray under the default numpy backend).
+
+        Runs once per read-out round, so it carries no span of its own;
+        under active tracing it folds its elapsed time into the enclosing
+        span's attrs (``cut_eval_seconds`` / ``cut_evaluations``) instead.
         """
+        if not tracing_enabled():
+            return self._weights_of(assignments)
+        start = time.perf_counter()
+        try:
+            return self._weights_of(assignments)
+        finally:
+            accumulate("cut_eval_seconds", time.perf_counter() - start)
+            accumulate("cut_evaluations", 1)
+
+    def _weights_of(self, assignments):
         xp = self._array
         assignments = xp.asarray(assignments)
         if self._n_edges == 0:

@@ -39,6 +39,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.distrib.adapters import ShardAdapter, get_shard_adapter
 from repro.distrib.checkpoint import CheckpointStore, ShardCheckpoint, unit_key
+from repro.obs.trace import (
+    mark,
+    merge_summaries,
+    span,
+    spans_since,
+    summarize_spans,
+    tracing_enabled,
+)
 from repro.utils.validation import ValidationError
 from repro.workloads.registry import Workload
 from repro.workloads.report import WorkloadOutcome
@@ -128,13 +136,23 @@ def run_shard(
         )
     adapter = get_shard_adapter(spec, workload)
     units = plan.shard_units(shard_index)
+    # Under active tracing the shard's per-phase timing summary rides the
+    # checkpoint metadata, so a later `repro merge` can fold timings across
+    # shards even when the shards ran in separate processes.
+    trace_mark = mark() if tracing_enabled() else None
     started = time.perf_counter()
-    payloads = adapter.run_units(spec, units) if units else []
+    with span(
+        "distrib.shard", shard_index=shard_index, n_units=len(units)
+    ):
+        payloads = adapter.run_units(spec, units) if units else []
     if len(payloads) != len(units):
         raise ValidationError(
             f"shard adapter for {spec.workload!r} returned {len(payloads)} "
             f"payloads for {len(units)} units"
         )
+    metadata: Dict[str, Any] = {}
+    if trace_mark is not None:
+        metadata["timing"] = summarize_spans(spans_since(trace_mark))
     # Round-trip through JSON so the in-memory path is semantically identical
     # to the resume-from-disk path (and non-JSON-safe payloads fail loudly at
     # the shard that produced them, not at a later resume).
@@ -147,6 +165,7 @@ def run_shard(
         units=[list(unit) for unit in units],
         payloads=payloads,
         elapsed_seconds=float(time.perf_counter() - started),
+        metadata=metadata,
     )
 
 
@@ -236,7 +255,8 @@ def run_sharded(
             resumed.append(shard_index)
         checkpoints.append(checkpoint)
 
-    outcome = _merge_plan(spec, plan, checkpoints, workload)
+    with span("distrib.merge", n_shards=plan.n_shards):
+        outcome = _merge_plan(spec, plan, checkpoints, workload)
     outcome.metadata["distrib"] = {
         "n_shards": plan.n_shards,
         "n_units": len(plan.units),
@@ -245,8 +265,31 @@ def run_sharded(
         "executed_shards": executed,
         "resumed_shards": resumed,
         "shard_elapsed_seconds": [c.elapsed_seconds for c in checkpoints],
+        **_fold_shard_timings(checkpoints),
     }
     return outcome
+
+
+def _fold_shard_timings(
+    checkpoints: Sequence[ShardCheckpoint],
+) -> Dict[str, Any]:
+    """Per-shard trace summaries from checkpoint metadata, plus their sum.
+
+    Empty when no shard carried timing (tracing was off when it ran) — the
+    ``distrib`` metadata block then stays exactly its historical shape.
+    """
+    timings = [
+        checkpoint.metadata.get("timing")
+        for checkpoint in checkpoints
+        if isinstance(checkpoint.metadata, dict)
+        and checkpoint.metadata.get("timing")
+    ]
+    if not timings:
+        return {}
+    return {
+        "shard_timings": timings,
+        "timing": merge_summaries(timings),
+    }
 
 
 def execute_single_shard(
@@ -356,7 +399,8 @@ def merge_checkpoints(
             f"checkpoint directory {checkpoint_dir!r} is missing shard(s) "
             f"{missing}; rerun with --resume to complete them"
         )
-    outcome = _merge_plan(spec, plan, checkpoints, workload)
+    with span("distrib.merge", n_shards=n_shards):
+        outcome = _merge_plan(spec, plan, checkpoints, workload)
     outcome.metadata["distrib"] = {
         "n_shards": n_shards,
         "n_units": len(plan.units),
@@ -365,5 +409,6 @@ def merge_checkpoints(
         "executed_shards": [],
         "resumed_shards": list(range(n_shards)),
         "shard_elapsed_seconds": [c.elapsed_seconds for c in checkpoints],
+        **_fold_shard_timings(checkpoints),
     }
     return outcome, manifest

@@ -42,6 +42,7 @@ from repro.neurons.encoding import (
     membrane_sign_assignments_xp,
     spikes_to_assignments_xp,
 )
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -55,8 +56,25 @@ class BatchedSolverEngine:
 
     def solve(self, request: SolveRequest) -> SolveResult:
         """Run the batch described by *request* and return its result."""
+        # Tracing wraps the run without touching it: spans consume no RNG
+        # and alter no control flow, so results are bit-identical with
+        # tracing on, off, or toggled mid-process.
+        with span(
+            "engine.solve", n_trials=request.n_trials, n_samples=request.n_samples
+        ) as solve_span:
+            result = self._solve(request)
+            solve_span.set(
+                graph=result.graph_name,
+                circuit=result.circuit_name,
+                backend=result.backend_name,
+                n_rounds=result.n_rounds,
+            )
+            return result
+
+    def _solve(self, request: SolveRequest) -> SolveResult:
         start = time.perf_counter()
-        circuit = self._resolve_circuit(request)
+        with span("engine.circuit_build"):
+            circuit = self._resolve_circuit(request)
         graph = circuit.graph
         plan = circuit.engine_plan()
         n_neurons = plan.n_neurons
@@ -102,13 +120,16 @@ class BatchedSolverEngine:
         ]
         rounds_limit = request.n_samples
         for block_index, trials in enumerate(blocks):
-            completed = self._run_block(
-                request, plan, graph, sampler, simulator, tracker,
-                trials, n_steps, rounds_limit,
-                trial_best_weights, trial_best_assignments,
-                trajectory_blocks, potential_blocks, assignment_blocks,
-                allow_stop=(block_index == 0),
-            )
+            with span(
+                "engine.block", block=block_index, n_trials=len(trials)
+            ):
+                completed = self._run_block(
+                    request, plan, graph, sampler, simulator, tracker,
+                    trials, n_steps, rounds_limit,
+                    trial_best_weights, trial_best_assignments,
+                    trajectory_blocks, potential_blocks, assignment_blocks,
+                    allow_stop=(block_index == 0),
+                )
             # The first block fixes the round count; later blocks replay it so
             # every trial's trajectory has the same length.  A wall-clock
             # deadline may truncate a later block further still — the final
@@ -244,53 +265,59 @@ class BatchedSolverEngine:
 
         tracker.start_block()
         completed = 0
-        for r, payload in rounds:
-            # Assignments are computed in the array namespace; only the small
-            # per-round products (cut weights, int8 assignments, recorded
-            # potentials) cross back to the host, where the tracker and the
-            # per-trial bests live.  Every `to_numpy` below is the identity
-            # on the numpy backend, so the host path is unchanged bitwise.
-            if plan.readout == "membrane":
-                readout_rows = None
-                if potentials_out is not None:
-                    readout_rows = xp.to_numpy(payload)
-                assignments = membrane_sign_assignments_xp(xp, payload)
-            elif plan.readout == "spike":
-                readout_rows = None
-                assignments = spikes_to_assignments_xp(xp, payload)
-            else:
-                # Plasticity learners are host objects (the circuits' own
-                # rule implementations), so this read-out bridges each
-                # round's rows back to NumPy before stepping them.
-                rows = xp.to_numpy(payload)
-                readout_rows = rows[:, -1]
-                assignments = np.empty((n_trials, plan.n_neurons), dtype=np.int8)
-                for j, learner in enumerate(learners):
-                    for k in range(plan.interval):
-                        learner.step(rows[j, k])
-                    assignments[j] = learner.sign_assignment()
+        with span(
+            "engine.integrate", n_trials=n_trials, rounds_limit=rounds_limit,
+            readout=plan.readout,
+        ) as integrate_span:
+            for r, payload in rounds:
+                # Assignments are computed in the array namespace; only the
+                # small per-round products (cut weights, int8 assignments,
+                # recorded potentials) cross back to the host, where the
+                # tracker and the per-trial bests live.  Every `to_numpy`
+                # below is the identity on the numpy backend, so the host
+                # path is unchanged bitwise.
+                if plan.readout == "membrane":
+                    readout_rows = None
+                    if potentials_out is not None:
+                        readout_rows = xp.to_numpy(payload)
+                    assignments = membrane_sign_assignments_xp(xp, payload)
+                elif plan.readout == "spike":
+                    readout_rows = None
+                    assignments = spikes_to_assignments_xp(xp, payload)
+                else:
+                    # Plasticity learners are host objects (the circuits' own
+                    # rule implementations), so this read-out bridges each
+                    # round's rows back to NumPy before stepping them.
+                    rows = xp.to_numpy(payload)
+                    readout_rows = rows[:, -1]
+                    assignments = np.empty((n_trials, plan.n_neurons), dtype=np.int8)
+                    for j, learner in enumerate(learners):
+                        for k in range(plan.interval):
+                            learner.step(rows[j, k])
+                        assignments[j] = learner.sign_assignment()
 
-            weights = xp.to_numpy(evaluator.weights(assignments))
-            assignments = xp.to_numpy(assignments)
-            trajectories[:, r] = weights
-            if potentials_out is not None and readout_rows is not None:
-                potentials_out[:, r] = readout_rows
-            if assignments_out is not None:
-                assignments_out[:, r] = assignments
+                weights = xp.to_numpy(evaluator.weights(assignments))
+                assignments = xp.to_numpy(assignments)
+                trajectories[:, r] = weights
+                if potentials_out is not None and readout_rows is not None:
+                    potentials_out[:, r] = readout_rows
+                if assignments_out is not None:
+                    assignments_out[:, r] = assignments
 
-            improved = weights > trial_best_weights[trial_index]
-            if improved.any():
-                trial_best_weights[trial_index[improved]] = weights[improved]
-                trial_best_assignments[trial_index[improved]] = assignments[improved]
+                improved = weights > trial_best_weights[trial_index]
+                if improved.any():
+                    trial_best_weights[trial_index[improved]] = weights[improved]
+                    trial_best_assignments[trial_index[improved]] = assignments[improved]
 
-            completed = r + 1
-            if tracker.update(r, weights) and (
-                allow_stop or tracker.deadline_exceeded
-            ):
-                # Plateau/ceiling stops are only honoured in the first block
-                # (later blocks replay its round count); the wall-clock
-                # deadline truncates wherever it fires.
-                break
+                completed = r + 1
+                if tracker.update(r, weights) and (
+                    allow_stop or tracker.deadline_exceeded
+                ):
+                    # Plateau/ceiling stops are only honoured in the first
+                    # block (later blocks replay its round count); the
+                    # wall-clock deadline truncates wherever it fires.
+                    break
+            integrate_span.set(rounds_completed=completed)
 
         trajectory_blocks.append(trajectories[:, :completed])
         if potentials_out is not None:

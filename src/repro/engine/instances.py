@@ -51,6 +51,7 @@ from repro.neurons.encoding import (
     membrane_sign_assignments_xp,
     spikes_to_assignments_xp,
 )
+from repro.obs.trace import span
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -202,6 +203,13 @@ class InstanceBlock:
     # ------------------------------------------------------------------
     def solve(self) -> List[SolveResult]:
         """Run the fused batch and split results back per request."""
+        with span(
+            "engine.fuse.block",
+            n_instances=self.n_instances, fused_trials=self._total_trials,
+        ):
+            return self._solve()
+
+    def _solve(self) -> List[SolveResult]:
         start = time.perf_counter()
         prepared = self._prepared
         first = prepared[0]
@@ -217,17 +225,18 @@ class InstanceBlock:
         # NumPy per trial (the RNG bridge), so each trial consumes exactly
         # the random numbers of its standalone run.
         currents = xp.empty((self._total_trials, n_steps, n_neurons), dtype="float64")
-        for inst in prepared:
-            seeds = request_trial_seeds(inst.request)
-            sampler = BatchDeviceSampler(
-                inst.circuit.build_device_pool, seeds,
-                n_devices=inst.plan.n_devices,
-            )
-            states = sampler.sample_block(range(inst.request.n_trials), n_steps)
-            simulator = BatchLIFSimulator(inst.backend, inst.plan.lif, n_neurons)
-            simulator.drive_currents(
-                xp.asarray(states), split_at=split, out=currents[inst.lo:inst.hi]
-            )
+        with span("engine.fuse.drive", n_instances=self.n_instances):
+            for inst in prepared:
+                seeds = request_trial_seeds(inst.request)
+                sampler = BatchDeviceSampler(
+                    inst.circuit.build_device_pool, seeds,
+                    n_devices=inst.plan.n_devices,
+                )
+                states = sampler.sample_block(range(inst.request.n_trials), n_steps)
+                simulator = BatchLIFSimulator(inst.backend, inst.plan.lif, n_neurons)
+                simulator.drive_currents(
+                    xp.asarray(states), split_at=split, out=currents[inst.lo:inst.hi]
+                )
 
         # Phase 2 — one lock-step integration over every instance's rows.
         integrator = BatchLIFSimulator(first.backend, plan0.lif, n_neurons)
@@ -262,25 +271,29 @@ class InstanceBlock:
             for inst in prepared
         ]
 
-        for r, payload in rounds:
-            if plan0.readout == "membrane":
-                assignments = membrane_sign_assignments_xp(xp, payload)
-            else:
-                assignments = spikes_to_assignments_xp(xp, payload)
-            for i, inst in enumerate(prepared):
-                lo, hi = inst.lo, inst.hi
-                rows = assignments[lo:hi]
-                weights = xp.to_numpy(evaluators[i].weights(rows))
-                rows_host = xp.to_numpy(rows)
-                trajectories[lo:hi, r] = weights
-                improved = weights > best_weights[lo:hi]
-                if improved.any():
-                    best_weights[lo:hi][improved] = weights[improved]
-                    best_assignments[lo:hi][improved] = rows_host[improved]
-                if potential_rows[i] is not None:
-                    potential_rows[i][:, r] = xp.to_numpy(payload[lo:hi])
-                if assignment_rows[i] is not None:
-                    assignment_rows[i][:, r] = rows_host
+        with span(
+            "engine.fuse.integrate",
+            n_instances=self.n_instances, rounds=n_samples,
+        ):
+            for r, payload in rounds:
+                if plan0.readout == "membrane":
+                    assignments = membrane_sign_assignments_xp(xp, payload)
+                else:
+                    assignments = spikes_to_assignments_xp(xp, payload)
+                for i, inst in enumerate(prepared):
+                    lo, hi = inst.lo, inst.hi
+                    rows = assignments[lo:hi]
+                    weights = xp.to_numpy(evaluators[i].weights(rows))
+                    rows_host = xp.to_numpy(rows)
+                    trajectories[lo:hi, r] = weights
+                    improved = weights > best_weights[lo:hi]
+                    if improved.any():
+                        best_weights[lo:hi][improved] = weights[improved]
+                        best_assignments[lo:hi][improved] = rows_host[improved]
+                    if potential_rows[i] is not None:
+                        potential_rows[i][:, r] = xp.to_numpy(payload[lo:hi])
+                    if assignment_rows[i] is not None:
+                        assignment_rows[i][:, r] = rows_host
 
         elapsed = time.perf_counter() - start
         _logger.debug(

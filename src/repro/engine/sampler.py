@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.devices.base import DevicePool
+from repro.obs.trace import span
 from repro.utils.rng import spawn_generators
 from repro.utils.validation import ValidationError
 
@@ -122,13 +123,14 @@ class BatchDeviceSampler:
         """
         if n_steps < 0:
             raise ValidationError(f"n_steps must be >= 0, got {n_steps}")
-        blocks = []
-        for trial in trials:
-            device_rng, aux_rng = spawn_generators(self._trial_seeds[trial], 2)
-            self._aux_generators[trial] = aux_rng
-            pool = self._pool_builder(device_rng)
-            block = pool.sample(n_steps)
-            blocks.append(block)
-        if not blocks:
-            return np.zeros((0, n_steps, self._n_devices), dtype=np.int8)
-        return np.stack(blocks)
+        with span("engine.sample", n_trials=len(trials), n_steps=n_steps):
+            blocks = []
+            for trial in trials:
+                device_rng, aux_rng = spawn_generators(self._trial_seeds[trial], 2)
+                self._aux_generators[trial] = aux_rng
+                pool = self._pool_builder(device_rng)
+                block = pool.sample(n_steps)
+                blocks.append(block)
+            if not blocks:
+                return np.zeros((0, n_steps, self._n_devices), dtype=np.int8)
+            return np.stack(blocks)

@@ -36,6 +36,7 @@ from typing import Iterator, Optional, Tuple
 from repro.engine.backends import WeightBackend
 from repro.engine.xp import ArrayBackend, get_array_backend
 from repro.neurons.lif import LIFParameters
+from repro.obs.trace import span
 from repro.utils.validation import ValidationError
 
 __all__ = ["BatchLIFSimulator"]
@@ -108,22 +109,28 @@ class BatchLIFSimulator:
             )
         n_trials, n_steps, _ = device_states.shape
         offset = self._params.input_offset
-        currents = out
-        if currents is None:
-            currents = self._xp.empty(
-                (n_trials, n_steps, self._n_neurons), dtype="float64"
-            )
-        for b in range(n_trials):
-            if 0 < split_at < n_steps:
-                self._backend.drive(
-                    device_states[b, :split_at], offset, out=currents[b, :split_at]
+        # One span over the whole block of weight-backend matmuls — the
+        # per-trial drive calls are the hot inner loop and stay span-free.
+        with span(
+            "engine.drive", n_trials=n_trials, n_steps=n_steps,
+            backend=getattr(self._backend, "name", "?"),
+        ):
+            currents = out
+            if currents is None:
+                currents = self._xp.empty(
+                    (n_trials, n_steps, self._n_neurons), dtype="float64"
                 )
-                self._backend.drive(
-                    device_states[b, split_at:], offset, out=currents[b, split_at:]
-                )
-            else:
-                self._backend.drive(device_states[b], offset, out=currents[b])
-        return currents
+            for b in range(n_trials):
+                if 0 < split_at < n_steps:
+                    self._backend.drive(
+                        device_states[b, :split_at], offset, out=currents[b, :split_at]
+                    )
+                    self._backend.drive(
+                        device_states[b, split_at:], offset, out=currents[b, split_at:]
+                    )
+                else:
+                    self._backend.drive(device_states[b], offset, out=currents[b])
+            return currents
 
     # ------------------------------------------------------------------
     def iter_membrane_readouts(

@@ -21,6 +21,7 @@ from repro.circuits.lif_gw import LIFGWCircuit
 from repro.circuits.lif_trevisan import LIFTrevisanCircuit
 from repro.experiments.config import Figure3Config
 from repro.graphs.generators import erdos_renyi
+from repro.obs.trace import span
 from repro.parallel.pool import ParallelConfig, parallel_map
 from repro.utils.logging import get_logger
 from repro.utils.rng import grid_cell_key, paired_seed, spawn_generators
@@ -107,6 +108,15 @@ def _run_graph_seeded(
     # from SeedSequence(seed, spawn_key=(n, key(p), j)); each method gets its
     # own spawned child, so methods stay paired per graph across execution
     # modes (serial / process pool / sharded) and worker counts.
+    with span(
+        "figure3.graph", n_vertices=n, probability=p, graph_index=graph_index
+    ):
+        return _run_graph_traced(n, p, config, graph_index, seed)
+
+
+def _run_graph_traced(
+    n: int, p: float, config: Figure3Config, graph_index: int, seed
+) -> Dict[str, np.ndarray]:
     graph_rng, gw_rng, tr_rng, solver_rng, random_rng = spawn_generators(seed, 5)
     graph = erdos_renyi(n, p, seed=graph_rng, name=f"er_n{n}_p{p:g}_{graph_index}")
     counts = sample_points_log_spaced(config.n_samples)

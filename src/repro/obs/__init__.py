@@ -1,0 +1,63 @@
+"""Observability: tracing spans, metrics registry, exposition, profiling.
+
+The measurement backbone of the stack (see DESIGN.md, "Observability"):
+
+* :mod:`repro.obs.trace` — ``span()`` context managers with contextvar
+  parent/child nesting and a near-zero no-op fast path when disabled;
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / histograms
+  behind one lock (serve's ``/stats`` and ``/metrics`` source of truth);
+* :mod:`repro.obs.exposition` — Prometheus text rendering;
+* :mod:`repro.obs.profile` — Chrome trace-event JSON and ASCII breakdowns
+  for ``repro profile``.
+"""
+
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    nearest_rank_percentile,
+)
+from repro.obs.profile import chrome_trace, profile_summary, render_profile
+from repro.obs.trace import (
+    SpanRecord,
+    Trace,
+    accumulate,
+    capture,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    merge_summaries,
+    span,
+    summarize_spans,
+    suspended,
+    tracing_enabled,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "nearest_rank_percentile",
+    "chrome_trace",
+    "profile_summary",
+    "render_profile",
+    "SpanRecord",
+    "Trace",
+    "accumulate",
+    "capture",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "merge_summaries",
+    "span",
+    "summarize_spans",
+    "suspended",
+    "tracing_enabled",
+]

@@ -1,0 +1,76 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`MetricsRegistry`.
+
+Stdlib-only renderer for ``GET /metrics``: ``# HELP`` / ``# TYPE`` headers,
+one sample line per series, histograms as cumulative ``_bucket{le=...}``
+plus ``_sum`` / ``_count``.  Label values are escaped per the exposition
+spec (backslash, double quote, newline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+
+#: The Content-Type Prometheus scrapers expect from a text endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(float(bound))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric of *registry* as Prometheus exposition text."""
+    lines = []
+    for metric in registry.collect():
+        if metric.help_text:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = metric.series()
+            if not series and isinstance(metric, Counter):
+                # A registered-but-never-incremented counter still exposes
+                # its zero: scrapers can tell "never happened" from "absent".
+                series = [({}, 0)]
+            for labels, value in series:
+                lines.append(
+                    f"{metric.name}{_labels_text(labels)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for bound, count in metric.cumulative_buckets():
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_le(bound)}"}} {count}'
+                )
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,123 @@
+"""Trace renderings for ``repro profile``: Chrome trace JSON + ASCII tables.
+
+:func:`chrome_trace` converts a list of :class:`SpanRecord` into the Chrome
+trace-event format (``{"traceEvents": [...]}`` of ``"X"`` complete events,
+microsecond timestamps) — load the file in Perfetto / ``chrome://tracing``
+for a zoomable flame view.  :func:`render_profile` is the terminal twin: a
+per-phase table plus an ``ascii_bar_chart`` of the top-N span names by
+inclusive and exclusive (self) time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import SpanRecord, summarize_spans
+
+__all__ = ["chrome_trace", "render_profile", "profile_summary"]
+
+
+def chrome_trace(spans: List[SpanRecord]) -> Dict[str, Any]:
+    """Spans as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Timestamps are microseconds relative to the earliest span start; each
+    distinct thread gets its own ``tid`` row, named via a thread-metadata
+    event.  Span attrs ride along under ``args``.
+    """
+    events: List[Dict[str, Any]] = []
+    pid = os.getpid()
+    if spans:
+        origin = min(record.start_seconds for record in spans)
+        tids: Dict[str, int] = {}
+        for record in spans:
+            tid = tids.setdefault(record.thread, len(tids) + 1)
+            events.append({
+                "name": record.name,
+                "ph": "X",
+                "ts": (record.start_seconds - origin) * 1e6,
+                "dur": record.duration_seconds * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(record.attrs),
+            })
+        for thread_name, tid in tids.items():
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_name},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def profile_summary(spans: List[SpanRecord]) -> Dict[str, Any]:
+    """JSON summary payload: per-phase aggregate plus trace-wide totals."""
+    summary = summarize_spans(spans)
+    return {
+        "schema": "repro-profile/v1",
+        "n_spans": len(spans),
+        "phases": summary,
+        "wall_seconds": (
+            max(r.start_seconds + r.duration_seconds for r in spans)
+            - min(r.start_seconds for r in spans)
+        ) if spans else 0.0,
+    }
+
+
+def render_profile(
+    spans: List[SpanRecord], top: int = 10, width: int = 46,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII per-phase breakdown of a trace.
+
+    A table of every span name (count, inclusive, exclusive seconds) sorted
+    by exclusive time, followed by bar charts of the top-*top* names by
+    inclusive and by exclusive time.
+    """
+    # Imported here, not at module top: repro.obs must stay stdlib-only at
+    # import time so hot modules (cuts, engine) can import the tracer
+    # without dragging the plotting stack (and a cycle) in.
+    from repro.plotting.ascii import ascii_bar_chart
+
+    if not spans:
+        return "(no spans recorded — is the traced path instrumented?)"
+    summary = summarize_spans(spans)
+    rows = sorted(
+        summary.items(), key=lambda item: item[1]["self_seconds"], reverse=True
+    )
+    name_width = max(len(name) for name, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'span':<{name_width}}  {'count':>7}  {'incl s':>10}  {'self s':>10}"
+    )
+    lines.append("-" * (name_width + 33))
+    for name, row in rows:
+        lines.append(
+            f"{name:<{name_width}}  {row['count']:>7d}  "
+            f"{row['total_seconds']:>10.4f}  {row['self_seconds']:>10.4f}"
+        )
+    top_incl = sorted(
+        summary.items(), key=lambda item: item[1]["total_seconds"], reverse=True
+    )[:top]
+    top_self = rows[:top]
+    lines.append("")
+    lines.append(ascii_bar_chart(
+        [name for name, _ in top_incl],
+        [row["total_seconds"] for _, row in top_incl],
+        width=width,
+        title=f"top {len(top_incl)} spans by inclusive seconds",
+        value_format="{:.4f}",
+    ))
+    lines.append("")
+    lines.append(ascii_bar_chart(
+        [name for name, _ in top_self],
+        [row["self_seconds"] for _, row in top_self],
+        width=width,
+        title=f"top {len(top_self)} spans by exclusive (self) seconds",
+        value_format="{:.4f}",
+    ))
+    return "\n".join(lines)

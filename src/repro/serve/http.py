@@ -13,6 +13,10 @@ Endpoints
     queue is full, 503 while draining, 504 on queue/wait timeout.
 ``GET /stats``
     Service metrics (:meth:`SolverService.stats`).
+``GET /metrics``
+    The same registry in Prometheus text exposition format (counters,
+    queue-depth gauge, cache gauges, latency histogram) — point a scraper
+    at it; ``/stats`` stays the JSON view.
 ``GET /healthz``
     ``{"status": "ok", "draining": false}`` — the probe endpoint.
 
@@ -29,6 +33,7 @@ import os
 import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.exposition import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.serve.protocol import error_payload
 from repro.serve.service import AdmissionError, SolverService
 from repro.utils.logging import get_logger
@@ -67,8 +72,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._reply_raw(status, body, "application/json")
+
+    def _reply_raw(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -78,6 +86,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         if self.path == "/stats":
             self._reply(200, self.service.stats())
+        elif self.path == "/metrics":
+            body = render_prometheus(self.service.registry).encode("utf-8")
+            self._reply_raw(200, body, PROMETHEUS_CONTENT_TYPE)
         elif self.path == "/healthz":
             self._reply(200, {"status": "ok", "draining": self.service.draining})
         else:

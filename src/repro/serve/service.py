@@ -56,6 +56,8 @@ from repro.engine import (
     split_result,
 )
 from repro.engine.xp import parse_backend_spec
+from repro.obs.metrics import MetricsRegistry, nearest_rank_percentile
+from repro.obs.trace import span
 from repro.serve.cache import ContentAddressedCache, content_key
 from repro.serve.protocol import (
     AUTO_CIRCUIT,
@@ -258,21 +260,66 @@ class SolverService:
         self._results = ContentAddressedCache(
             max_entries=self.config.result_cache_entries, name="results"
         )
-        self._metrics_lock = threading.Lock()
-        self._admitted = 0
-        self._completed = 0
-        self._timed_out = 0
-        self._rejected: Dict[str, int] = {}
-        self._engine_invocations = 0
-        self._engine_jobs = 0
-        self._engine_trials = 0
-        self._coalesced_jobs = 0
-        self._fused_invocations = 0
-        self._fused_lanes = 0
-        self._routed_requests = 0
+        # Every counter lives on a per-service obs registry (one registry
+        # per service keeps tests isolated); self.registry.lock replaces the
+        # old hand-rolled _metrics_lock, and multi-metric updates hold it so
+        # a concurrent stats()/snapshot() never observes them half-applied.
+        # Lock ordering: _condition (when needed) strictly outside
+        # registry.lock, never the reverse.
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._m_admitted = reg.counter(
+            "repro_serve_admitted_total", "Requests admitted (cached or queued)")
+        self._m_completed = reg.counter(
+            "repro_serve_completed_total", "Requests answered with a result")
+        self._m_timed_out = reg.counter(
+            "repro_serve_timed_out_total", "Requests expired in the queue")
+        self._m_routed = reg.counter(
+            "repro_serve_routed_total", "Auto requests resolved by the portfolio router")
+        self._m_rejected = reg.counter(
+            "repro_serve_rejected_total", "Requests refused at admission, by reason")
+        self._m_engine_invocations = reg.counter(
+            "repro_serve_engine_invocations_total", "Engine kernel invocations")
+        self._m_engine_jobs = reg.counter(
+            "repro_serve_engine_jobs_total", "Jobs solved through the engine")
+        self._m_engine_trials = reg.counter(
+            "repro_serve_engine_trials_total", "Trials solved through the engine")
+        self._m_coalesced_jobs = reg.counter(
+            "repro_serve_coalesced_jobs_total", "Jobs that shared a batch with others")
+        self._m_fused_invocations = reg.counter(
+            "repro_serve_fused_invocations_total", "Batches run as one fused instance block")
+        self._m_fused_lanes = reg.counter(
+            "repro_serve_fused_lanes_total", "Instance lanes stacked into fused batches")
+        self._m_latency = reg.histogram(
+            "repro_serve_request_latency_seconds",
+            "Admission-to-response latency of completed requests",
+            window=self.config.latency_window,
+        )
+        # len() on a deque is safe without the condition; a gauge read is a
+        # point-in-time sample anyway (callbacks run outside registry.lock).
+        reg.gauge(
+            "repro_serve_queue_depth", "Jobs waiting for a batch slot"
+        ).set_function(lambda: float(len(self._queue)))
+        cache_hit_rate = reg.gauge(
+            "repro_serve_cache_hit_rate", "Hit rate per content-addressed cache")
+        cache_entries = reg.gauge(
+            "repro_serve_cache_entries", "Current entries per content-addressed cache")
+        cache_hits = reg.gauge(
+            "repro_serve_cache_hits", "Lifetime hits per content-addressed cache")
+        cache_misses = reg.gauge(
+            "repro_serve_cache_misses", "Lifetime misses per content-addressed cache")
+        for cache in (self._results, self._circuits, self._compiles):
+            stats_of = cache.stats
+            cache_hit_rate.set_function(
+                lambda s=stats_of: float(s()["hit_rate"]), cache=cache.name)
+            cache_entries.set_function(
+                lambda s=stats_of: float(s()["size"]), cache=cache.name)
+            cache_hits.set_function(
+                lambda s=stats_of: float(s()["hits"]), cache=cache.name)
+            cache_misses.set_function(
+                lambda s=stats_of: float(s()["misses"]), cache=cache.name)
         self._portfolio_model: Any = None
         self._portfolio_loaded = False
-        self._latencies: deque = deque(maxlen=self.config.latency_window)
         if autostart:
             self.start()
 
@@ -331,6 +378,10 @@ class SolverService:
         :class:`SolveSpec`).  Raises :class:`AdmissionError` on policy
         rejection and :class:`ValidationError` on a malformed payload.
         """
+        with span("serve.admit"):
+            return self._submit(payload)
+
+    def _submit(self, payload: Any) -> ServeJob:
         spec = payload if isinstance(payload, SolveSpec) else parse_solve_payload(payload)
         problem = lifter = certificate = None
         if spec.problem is not None:
@@ -346,8 +397,7 @@ class SolverService:
             # caching, and bit-identical answers.
             spec = replace(spec, circuit=self._route(graph))
             routed = True
-            with self._metrics_lock:
-                self._routed_requests += 1
+            self._m_routed.inc()
         if self._draining:
             self._count_rejection("draining")
             raise AdmissionError("draining", "service is draining; not accepting requests")
@@ -391,10 +441,10 @@ class SolverService:
             response["routed"] = job.routed
             response["wait_seconds"] = 0.0
             job.complete(response)
-            with self._metrics_lock:
-                self._admitted += 1
-                self._completed += 1
-                self._latencies.append(0.0)
+            with self.registry.lock:
+                self._m_admitted.inc()
+                self._m_completed.inc()
+                self._m_latency.observe(0.0)
             return job
         with self._condition:
             if self._draining:
@@ -410,9 +460,11 @@ class SolverService:
                     f"limit {self.config.max_queue_depth}",
                 )
             self._queue.append(job)
+            # Counted while still holding the condition: the old code
+            # admitted after releasing it, so a concurrent stats() could see
+            # the job queued but not yet admitted (queue_depth > admitted).
+            self._m_admitted.inc()
             self._condition.notify_all()
-        with self._metrics_lock:
-            self._admitted += 1
         return job
 
     def solve(self, payload: Any, timeout: Optional[float] = None) -> dict:
@@ -430,16 +482,19 @@ class SolverService:
         key = content_key("compile", spec.problem.fingerprint(), spec.setup_seed)
 
         def build():
-            graph, lifter = compile_to_maxcut(
-                spec.problem, verify=False, seed=spec.setup_seed
-            )
-            # Certify once per distinct instance — the certificate rides the
-            # cache with the compiled graph, so responses can claim it
-            # without paying the probes per request.
-            certificate = verify_certificate(
-                spec.problem, graph, lifter, seed=spec.setup_seed
-            )
-            return graph, lifter, certificate
+            # The span sits inside the cache's get_or_build, so a trace
+            # shows only true compiles — cache hits cost no compile span.
+            with span("serve.compile", kind=spec.problem.kind):
+                graph, lifter = compile_to_maxcut(
+                    spec.problem, verify=False, seed=spec.setup_seed
+                )
+                # Certify once per distinct instance — the certificate rides
+                # the cache with the compiled graph, so responses can claim
+                # it without paying the probes per request.
+                certificate = verify_certificate(
+                    spec.problem, graph, lifter, seed=spec.setup_seed
+                )
+                return graph, lifter, certificate
 
         return self._compiles.get_or_build(key, build)
 
@@ -458,8 +513,7 @@ class SolverService:
         return route_circuit(graph, model=self._portfolio_model)
 
     def _count_rejection(self, reason: str) -> None:
-        with self._metrics_lock:
-            self._rejected[reason] = self._rejected.get(reason, 0) + 1
+        self._m_rejected.inc(reason=reason)
 
     # -- batching worker ---------------------------------------------------
 
@@ -552,6 +606,10 @@ class SolverService:
         return self._circuits.get_or_build(key, build)
 
     def _run_batch(self, batch: List[ServeJob]) -> None:
+        with span("serve.batch", batch_jobs=len(batch)) as batch_span:
+            self._run_batch_traced(batch, batch_span)
+
+    def _run_batch_traced(self, batch: List[ServeJob], batch_span) -> None:
         # Two batching axes.  Jobs sharing a shape_key (same graph/circuit/
         # seed geometry) form a *lane* and coalesce along the trials axis;
         # distinct lanes in the same batch share the fuse_key and stack
@@ -585,29 +643,34 @@ class SolverService:
             merged, slices = coalesce_requests(requests)
             merged_requests.append(merged)
             lane_slices.append(slices)
-        if len(merged_requests) == 1:
-            lane_results = [solve(merged_requests[0])]
-        else:
-            lane_results = solve_instance_block(merged_requests)
+        with span("serve.solve", lanes=len(lanes)):
+            if len(merged_requests) == 1:
+                lane_results = [solve(merged_requests[0])]
+            else:
+                lane_results = solve_instance_block(merged_requests)
         fused = len(lanes) > 1 and all(
             r.metadata.get("instance_block") for r in lane_results
         )
+        batch_span.set(lanes=len(lanes), fused=fused)
         now = time.perf_counter()
-        with self._metrics_lock:
+        with self.registry.lock:
             # A fused batch is one kernel invocation; a fallback ran one
             # invocation per lane.  Keeping the count honest keeps the
-            # coalesce/occupancy ratios meaningful.
-            self._engine_invocations += 1 if fused or len(lanes) == 1 else len(lanes)
-            self._engine_jobs += len(batch)
-            self._engine_trials += sum(m.n_trials for m in merged_requests)
+            # coalesce/occupancy ratios meaningful.  All counters move under
+            # one registry lock hold so stats() sees them together.
+            self._m_engine_invocations.inc(
+                1 if fused or len(lanes) == 1 else len(lanes)
+            )
+            self._m_engine_jobs.inc(len(batch))
+            self._m_engine_trials.inc(sum(m.n_trials for m in merged_requests))
             if len(batch) > 1:
-                self._coalesced_jobs += len(batch)
+                self._m_coalesced_jobs.inc(len(batch))
             if fused:
-                self._fused_invocations += 1
-                self._fused_lanes += len(lanes)
-            self._completed += len(batch)
+                self._m_fused_invocations.inc()
+                self._m_fused_lanes.inc(len(lanes))
+            self._m_completed.inc(len(batch))
             for job in batch:
-                self._latencies.append(now - job.submitted_at)
+                self._m_latency.observe(now - job.submitted_at)
         for lane, result, slices in zip(lanes, lane_results, lane_slices):
             parts = split_result(result, slices)
             for job, part in zip(lane, parts):
@@ -670,8 +733,7 @@ class SolverService:
         job.complete(response)
 
     def _expire(self, job: ServeJob) -> None:
-        with self._metrics_lock:
-            self._timed_out += 1
+        self._m_timed_out.inc()
         self._fail(
             job, "timeout",
             "request timed out in the queue before a batch slot opened",
@@ -681,51 +743,59 @@ class SolverService:
 
     @staticmethod
     def _percentile(values: List[float], fraction: float) -> float:
-        if not values:
-            return 0.0
-        ordered = sorted(values)
-        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-        return float(ordered[index])
+        """Nearest-rank percentile — now lives in :mod:`repro.obs.metrics`."""
+        return nearest_rank_percentile(values, fraction)
 
     def stats(self) -> dict:
-        """JSON-safe service metrics (the ``/stats`` endpoint body)."""
+        """JSON-safe service metrics (the ``/stats`` endpoint body).
+
+        Payload shape is pinned (clients and tests depend on it); the values
+        now come from the obs registry, read coherently: the condition
+        (queue state) is taken first and the registry lock nested inside it
+        — the same order every writer uses — so queue depth, drain state,
+        and every counter are one consistent observation.
+        """
         with self._condition:
             queue_depth = len(self._queue)
-        with self._metrics_lock:
-            latencies = list(self._latencies)
-            invocations = self._engine_invocations
-            jobs = self._engine_jobs
-            trials = self._engine_trials
-            stats = {
-                "queue_depth": queue_depth,
-                "draining": self._draining,
-                "admitted": self._admitted,
-                "completed": self._completed,
-                "timed_out": self._timed_out,
-                "routed": self._routed_requests,
-                "rejected": dict(self._rejected),
-                "engine": {
-                    "invocations": invocations,
-                    "jobs": jobs,
-                    "trials": trials,
-                    "coalesced_jobs": self._coalesced_jobs,
-                    "fused_invocations": self._fused_invocations,
-                    "fused_lanes": self._fused_lanes,
-                    "coalesce_ratio": (jobs / invocations) if invocations else 0.0,
-                    "mean_batch_trials": (trials / invocations) if invocations else 0.0,
-                    "batch_occupancy": (
-                        trials / (invocations * self.config.max_batch_trials)
-                    ) if invocations else 0.0,
-                },
-                "caches": {
-                    "results": self._results.stats(),
-                    "circuits": self._circuits.stats(),
-                    "compiles": self._compiles.stats(),
-                },
-                "latency": {
-                    "count": len(latencies),
-                    "p50_seconds": self._percentile(latencies, 0.50),
-                    "p95_seconds": self._percentile(latencies, 0.95),
-                },
-            }
+            draining = self._draining
+            with self.registry.lock:
+                latencies = self._m_latency.window_values()
+                invocations = int(self._m_engine_invocations.value())
+                jobs = int(self._m_engine_jobs.value())
+                trials = int(self._m_engine_trials.value())
+                stats = {
+                    "queue_depth": queue_depth,
+                    "draining": draining,
+                    "admitted": int(self._m_admitted.value()),
+                    "completed": int(self._m_completed.value()),
+                    "timed_out": int(self._m_timed_out.value()),
+                    "routed": int(self._m_routed.value()),
+                    "rejected": {
+                        reason: int(count)
+                        for reason, count in self._m_rejected.as_dict("reason").items()
+                    },
+                    "engine": {
+                        "invocations": invocations,
+                        "jobs": jobs,
+                        "trials": trials,
+                        "coalesced_jobs": int(self._m_coalesced_jobs.value()),
+                        "fused_invocations": int(self._m_fused_invocations.value()),
+                        "fused_lanes": int(self._m_fused_lanes.value()),
+                        "coalesce_ratio": (jobs / invocations) if invocations else 0.0,
+                        "mean_batch_trials": (trials / invocations) if invocations else 0.0,
+                        "batch_occupancy": (
+                            trials / (invocations * self.config.max_batch_trials)
+                        ) if invocations else 0.0,
+                    },
+                    "caches": {
+                        "results": self._results.stats(),
+                        "circuits": self._circuits.stats(),
+                        "compiles": self._compiles.stats(),
+                    },
+                    "latency": {
+                        "count": len(latencies),
+                        "p50_seconds": nearest_rank_percentile(latencies, 0.50),
+                        "p95_seconds": nearest_rank_percentile(latencies, 0.95),
+                    },
+                }
         return stats

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.registry import get_spec
+from repro.obs.trace import mark, span, spans_since, summarize_spans, tracing_enabled
 from repro.utils.validation import ValidationError, _config_jsonable
 from repro.workloads.executor import execute_spec
 from repro.workloads.registry import (
@@ -185,28 +186,39 @@ class Session:
             the crash-recovery path: rerun the same command after a kill and
             only the missing shards execute.
         """
-        self.validate()
+        with span("session.validate", workload=self.spec.workload):
+            self.validate()
         from repro import __version__
 
         if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
             raise ValidationError(f"shards must be an integer >= 1, got {shards!r}")
+        # Under active tracing the report additionally carries a per-phase
+        # timing block in metadata["timing"]; with tracing off (the default)
+        # the report is byte-for-byte what it always was.
+        trace_mark = mark() if tracing_enabled() else None
         started = time.perf_counter()
-        if shards == 1 and checkpoint_dir is None and not resume:
-            if self.workload is not None and self.workload.execute is not None:
-                outcome = self.workload.execute(self.spec)
+        with span(
+            "session.execute", workload=self.spec.workload, shards=shards
+        ):
+            if shards == 1 and checkpoint_dir is None and not resume:
+                if self.workload is not None and self.workload.execute is not None:
+                    outcome = self.workload.execute(self.spec)
+                else:
+                    outcome = _generic_outcome(self.spec)
             else:
-                outcome = _generic_outcome(self.spec)
-        else:
-            from repro.distrib import run_sharded
+                from repro.distrib import run_sharded
 
-            outcome = run_sharded(
-                self.spec, shards, workload=self.workload,
-                checkpoint_dir=checkpoint_dir, resume=resume,
-            )
+                outcome = run_sharded(
+                    self.spec, shards, workload=self.workload,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                )
         elapsed = time.perf_counter() - started
         params: Dict[str, Any] = {
             str(k): _config_jsonable(v) for k, v in dict(self.spec.params).items()
         }
+        metadata = dict(outcome.metadata)
+        if trace_mark is not None:
+            metadata["timing"] = summarize_spans(spans_since(trace_mark))
         return RunReport(
             workload=self.spec.workload,
             seed=self.spec.seed,
@@ -214,7 +226,7 @@ class Session:
             records=list(outcome.records),
             leaderboard=list(outcome.leaderboard),
             elapsed_seconds=float(elapsed),
-            metadata=dict(outcome.metadata),
+            metadata=metadata,
             version=__version__,
         )
 

@@ -175,7 +175,7 @@ class TestBenchCommand:
             "engine:lif_gw", "engine:lif_tr", "sharded:arena",
             "problems-compile", "serve-batching", "portfolio-route",
             "engine-tensor", "engine-instance-batch",
-            "scale-generate", "sketch-vs-exact",
+            "scale-generate", "sketch-vs-exact", "obs-overhead",
         }
 
     def test_check_passes_against_committed_baseline(self, bench_run, capsys):

@@ -45,6 +45,7 @@ PUBLIC_PACKAGES = [
     "repro.graphs",
     "repro.ising",
     "repro.neurons",
+    "repro.obs",
     "repro.parallel",
     "repro.plotting",
     "repro.portfolio",
@@ -128,6 +129,7 @@ class TestCliHelp:
         ["compare", "--help"],
         ["merge", "--help"],
         ["bench", "--help"],
+        ["profile", "--help"],
         ["serve", "--help"],
     ])
     def test_help_exits_zero(self, argv, capsys):
